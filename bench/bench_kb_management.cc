@@ -1,0 +1,129 @@
+// Extension experiment M1 (the paper's Section VII future work, implemented):
+// knowledge-base maintenance strategies.
+//
+//  (a) Representative-query selection: given a 100-query candidate pool and
+//      an expert-annotation budget of 20, compare the curated
+//      pattern-coverage selection, k-medoids over plan-pair embeddings, and
+//      a random pick.
+//  (b) Stale-entry expiry: let the KB grow through feedback corrections,
+//      then shrink it back with the least-used/oldest-first policy and show
+//      accuracy is retained.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "rag/kb_manager.h"
+
+namespace {
+
+using namespace htapex;
+using namespace htapex::bench;
+
+GradeCounts RunWorkload(HtapExplainer* explainer,
+                        const std::vector<GeneratedQuery>& workload) {
+  GradeCounts counts;
+  for (const GeneratedQuery& gq : workload) {
+    auto result = explainer->Explain(gq.sql);
+    if (result.ok()) counts.Add(result->grade.grade);
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  // Base fixture (trains the router once; we reuse its system for all
+  // selection strategies so embeddings are comparable).
+  auto fixture = Fixture::Make(ExplainerConfig{}, /*build_kb=*/false);
+  if (fixture == nullptr) return 1;
+  HtapSystem* system = fixture->system.get();
+  auto workload = TestWorkload(*system);
+
+  // Candidate pool: 100 un-annotated queries with embeddings.
+  QueryGenerator pool_gen(system->config().stats_scale_factor, 0xca1d);
+  std::vector<KbCandidate> candidates;
+  for (const GeneratedQuery& gq : pool_gen.GenerateMix(100)) {
+    auto bound = system->Bind(gq.sql);
+    if (!bound.ok()) continue;
+    auto plans = system->PlanBoth(*bound);
+    if (!plans.ok()) continue;
+    KbCandidate c;
+    c.sql = gq.sql;
+    c.embedding = fixture->explainer->router().Embed(*plans);
+    candidates.push_back(std::move(c));
+  }
+
+  std::printf("=== M1a: 20-entry selection strategies (100 candidates, "
+              "%zu test queries) ===\n", workload.size());
+
+  // (1) Curated pattern coverage (the default KB).
+  {
+    auto f = Fixture::Make();
+    if (f == nullptr) return 1;
+    GradeCounts c = RunWorkload(f->explainer.get(), workload);
+    std::printf("%-26s accurate=%5.1f%%  none=%4.1f%%\n",
+                "curated (pattern cover)", c.accuracy(), c.none_rate());
+  }
+  // (2) k-medoids over embeddings.
+  {
+    auto f = Fixture::Make(ExplainerConfig{}, /*build_kb=*/false);
+    if (f == nullptr) return 1;
+    std::vector<int> picks = KbManager::SelectRepresentatives(candidates, 20);
+    std::vector<std::string> sqls;
+    for (int i : picks) sqls.push_back(candidates[static_cast<size_t>(i)].sql);
+    if (!f->explainer->AddToKnowledgeBase(sqls).ok()) return 1;
+    GradeCounts c = RunWorkload(f->explainer.get(), workload);
+    std::printf("%-26s accurate=%5.1f%%  none=%4.1f%%\n",
+                "k-medoids (embeddings)", c.accuracy(), c.none_rate());
+  }
+  // (3) Random selection.
+  {
+    auto f = Fixture::Make(ExplainerConfig{}, /*build_kb=*/false);
+    if (f == nullptr) return 1;
+    Rng rng(99);
+    std::vector<std::string> sqls;
+    std::vector<int> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    rng.Shuffle(&order);
+    for (int i = 0; i < 20; ++i) {
+      sqls.push_back(candidates[static_cast<size_t>(order[static_cast<size_t>(i)])].sql);
+    }
+    if (!f->explainer->AddToKnowledgeBase(sqls).ok()) return 1;
+    GradeCounts c = RunWorkload(f->explainer.get(), workload);
+    std::printf("%-26s accurate=%5.1f%%  none=%4.1f%%\n", "random pick",
+                c.accuracy(), c.none_rate());
+  }
+
+  // (b) Expiry policy.
+  std::printf("\n=== M1b: stale-entry expiry ===\n");
+  auto f = Fixture::Make();
+  if (f == nullptr) return 1;
+  GradeCounts before = RunWorkload(f->explainer.get(), workload);
+  // Grow the KB through the feedback loop over a broader stream of queries
+  // (heavy on the rare combinations that actually fail).
+  QueryGenerator stream_gen(system->config().stats_scale_factor, 0x57a1e);
+  for (int i = 0; i < 60; ++i) {
+    GeneratedQuery gq = stream_gen.Generate(
+        i % 2 == 0 ? QueryPattern::kExotic
+                   : AllQueryPatterns()[static_cast<size_t>(i) %
+                                        AllQueryPatterns().size()]);
+    auto result = f->explainer->Explain(gq.sql);
+    if (result.ok() && result->grade.grade != ExplanationGrade::kAccurate) {
+      f->explainer->IncorporateCorrection(*result).ToString();
+    }
+  }
+  size_t grown = f->explainer->knowledge_base().size();
+  GradeCounts grown_counts = RunWorkload(f->explainer.get(), workload);
+  auto removed =
+      KbManager::ShrinkTo(&f->explainer->mutable_knowledge_base(), 16);
+  if (!removed.ok()) return 1;
+  GradeCounts after = RunWorkload(f->explainer.get(), workload);
+  std::printf("KB 20 entries:             accurate=%5.1f%%\n",
+              before.accuracy());
+  std::printf("grown to %zu via feedback:  accurate=%5.1f%%\n", grown,
+              grown_counts.accuracy());
+  std::printf("expired %d (to 16 live):    accurate=%5.1f%%\n", *removed,
+              after.accuracy());
+  std::printf("policy: least-retrieved first, oldest first among ties — "
+              "frequently-used precedents survive.\n");
+  return 0;
+}

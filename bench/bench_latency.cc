@@ -1,0 +1,92 @@
+// Experiment L1 (paper Section VI-B): end-to-end response-time breakdown.
+//
+// Paper: smart-router encoding < 0.1 ms; knowledge-base search < 0.1 ms at
+// 20 entries; LLM thinking <= 2 s; generation ~10 s. Router encoding and KB
+// search are *measured* wall time here (google-benchmark); the LLM times
+// come from the simulated-model clock (no hosted LLM in this build).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+
+namespace {
+
+using namespace htapex;
+using namespace htapex::bench;
+
+std::unique_ptr<Fixture>& SharedFixture() {
+  static std::unique_ptr<Fixture> fixture = Fixture::Make();
+  return fixture;
+}
+
+constexpr const char* kQuery =
+    "SELECT COUNT(*) FROM customer, nation, orders "
+    "WHERE o_custkey = c_custkey AND n_nationkey = c_nationkey "
+    "AND n_name = 'egypt' AND c_mktsegment = 'machinery' "
+    "AND o_orderstatus = 'p'";
+
+void BM_RouterEncode(benchmark::State& state) {
+  Fixture* f = SharedFixture().get();
+  auto query = f->system->Bind(kQuery);
+  auto plans = f->system->PlanBoth(*query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->explainer->router().Embed(*plans));
+  }
+}
+BENCHMARK(BM_RouterEncode)->Unit(benchmark::kMicrosecond);
+
+void BM_KbSearchTop2(benchmark::State& state) {
+  Fixture* f = SharedFixture().get();
+  auto query = f->system->Bind(kQuery);
+  auto plans = f->system->PlanBoth(*query);
+  std::vector<double> embedding = f->explainer->router().Embed(*plans);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f->explainer->knowledge_base().Retrieve(embedding, 2));
+  }
+}
+BENCHMARK(BM_KbSearchTop2)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  // Wall time of everything except the (simulated) LLM call itself.
+  Fixture* f = SharedFixture().get();
+  for (auto _ : state) {
+    auto result = f->explainer->Explain(kQuery);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (SharedFixture() == nullptr) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // The component table the paper reports.
+  Fixture* f = SharedFixture().get();
+  auto result = f->explainer->Explain(kQuery);
+  if (!result.ok()) return 1;
+  std::printf("\n=== L1: end-to-end response-time components ===\n");
+  std::printf("%-28s %-12s %s\n", "component", "this build", "paper");
+  std::printf("%-28s %-12s %s\n", "router encoding (measured)",
+              FormatMillis(result->router_encode_ms).c_str(), "< 0.1 ms");
+  std::printf("%-28s %-12s %s\n", "KB search @20 (measured)",
+              FormatMillis(result->retrieval.search_ms).c_str(), "< 0.1 ms");
+  std::printf("%-28s %-12s %s\n", "LLM thinking (simulated)",
+              FormatMillis(result->generation.timing.thinking_ms).c_str(),
+              "<= 2 s");
+  std::printf("%-28s %-12s %s\n", "LLM generation (simulated)",
+              FormatMillis(result->generation.timing.generation_ms).c_str(),
+              "~10 s");
+  std::printf("%-28s %-12s %s\n", "end to end",
+              FormatMillis(result->end_to_end_ms()).c_str(), "~12 s");
+  std::printf("prompt tokens: %d, output tokens: %d\n",
+              result->generation.timing.prompt_tokens,
+              result->generation.timing.output_tokens);
+  return 0;
+}

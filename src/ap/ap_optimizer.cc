@@ -1,0 +1,306 @@
+#include "ap/ap_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "plan/cardinality.h"
+#include "plan/planner_util.h"
+
+namespace htapex {
+
+namespace {
+
+double Log2(double x) { return std::log2(std::max(x, 2.0)); }
+
+class ApPlanBuilder {
+ public:
+  ApPlanBuilder(const Catalog& catalog, const ApCostParams& params,
+                const BoundQuery& query)
+      : catalog_(catalog), params_(params), query_(query), est_(catalog) {}
+
+  Result<PhysicalPlan> Build() {
+    std::unique_ptr<PlanNode> root;
+    HTAPEX_ASSIGN_OR_RETURN(root, BuildJoinTree());
+    HTAPEX_ASSIGN_OR_RETURN(root, AddAggregation(std::move(root)));
+    HTAPEX_ASSIGN_OR_RETURN(root, AddOrderLimitProject(std::move(root)));
+    root->total_cost += params_.startup;
+    PhysicalPlan plan;
+    plan.engine = EngineKind::kAp;
+    plan.root = std::move(root);
+    plan.total_slots = query_.total_slots;
+    return plan;
+  }
+
+ private:
+  /// Columnar scan with all single-table predicates pushed into the scan
+  /// (the column store evaluates them during the scan, zone maps first).
+  std::unique_ptr<PlanNode> BuildScan(int t) {
+    const BoundTable& bt = query_.table(t);
+    double base_rows = est_.BaseTableRows(query_, t);
+    auto scan = std::make_unique<PlanNode>(PlanOp::kColumnScan);
+    scan->relation = bt.ref.table;
+    scan->table_idx = t;
+    scan->slot_offset = bt.flat_offset;
+    scan->slot_count = static_cast<int>(bt.schema->num_columns());
+    scan->columns_read = ReferencedColumns(query_, t);
+    if (scan->columns_read.empty()) {
+      // COUNT(*)-only tables still read one (cheap) column.
+      scan->columns_read.push_back(bt.schema->column(0).name);
+    }
+    double sel = 1.0;
+    for (int ci : SingleTableConjuncts(query_, t)) {
+      const ConjunctInfo& c = query_.conjuncts[static_cast<size_t>(ci)];
+      scan->predicates.push_back(c.expr->Clone());
+      sel *= est_.ConjunctSelectivity(query_, c);
+    }
+    scan->base_rows = base_rows;
+    scan->estimated_rows = std::max(base_rows * sel, 1.0);
+    scan->total_cost = base_rows *
+                       static_cast<double>(scan->columns_read.size()) *
+                       params_.scan_value;
+    return scan;
+  }
+
+  Result<std::unique_ptr<PlanNode>> BuildJoinTree() {
+    const int n = query_.num_tables();
+    std::vector<std::unique_ptr<PlanNode>> scans(static_cast<size_t>(n));
+    std::vector<double> rows(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      scans[static_cast<size_t>(t)] = BuildScan(t);
+      rows[static_cast<size_t>(t)] = scans[static_cast<size_t>(t)]->estimated_rows;
+    }
+
+    // Start from the largest filtered table: it becomes the probe side of
+    // the first hash join, so hash tables are built on the smaller inputs.
+    int start = 0;
+    for (int t = 1; t < n; ++t) {
+      if (rows[static_cast<size_t>(t)] > rows[static_cast<size_t>(start)]) {
+        start = t;
+      }
+    }
+    std::set<int> joined = {start};
+    std::unique_ptr<PlanNode> current =
+        std::move(scans[static_cast<size_t>(start)]);
+    double current_rows = rows[static_cast<size_t>(start)];
+
+    while (static_cast<int>(joined.size()) < n) {
+      int best_t = -1;
+      int best_ci = -1;
+      double best_out = 0;
+      bool best_connected = false;
+      for (int t = 0; t < n; ++t) {
+        if (joined.count(t) > 0) continue;
+        std::vector<int> jcs = JoinConjunctsBetween(query_, joined, t);
+        bool connected = !jcs.empty();
+        double out;
+        int jci = -1;
+        if (connected) {
+          jci = jcs[0];
+          out = est_.JoinOutputRows(query_,
+                                    query_.conjuncts[static_cast<size_t>(jci)],
+                                    current_rows, rows[static_cast<size_t>(t)]);
+        } else {
+          out = current_rows * rows[static_cast<size_t>(t)];
+        }
+        bool better = best_t < 0 || (connected && !best_connected) ||
+                      (connected == best_connected && out < best_out);
+        if (better) {
+          best_t = t;
+          best_ci = jci;
+          best_out = out;
+          best_connected = connected;
+        }
+      }
+
+      double build_rows = rows[static_cast<size_t>(best_t)];
+      auto join = std::make_unique<PlanNode>(PlanOp::kHashJoin);
+      const ConjunctInfo* jp =
+          best_ci >= 0 ? &query_.conjuncts[static_cast<size_t>(best_ci)]
+                       : nullptr;
+      if (jp != nullptr) {
+        // left = probe (accumulated), right = build (new table).
+        if (jp->left_table == best_t) {
+          join->left_key = jp->right_column->Clone();
+          join->right_key = jp->left_column->Clone();
+        } else {
+          join->left_key = jp->left_column->Clone();
+          join->right_key = jp->right_column->Clone();
+        }
+      }
+      std::unique_ptr<PlanNode> build =
+          std::move(scans[static_cast<size_t>(best_t)]);
+      join->total_cost = current->total_cost + build->total_cost +
+                         build_rows * params_.hash_build_row +
+                         current_rows * params_.hash_probe_row +
+                         best_out * params_.output_row;
+      join->estimated_rows = std::max(best_out, 1.0);
+      join->children.push_back(std::move(current));
+      join->children.push_back(std::move(build));
+
+      joined.insert(best_t);
+      for (size_t i = 0; i < query_.conjuncts.size(); ++i) {
+        const ConjunctInfo& c = query_.conjuncts[i];
+        if (static_cast<int>(i) == best_ci) continue;
+        if (c.is_equi_join && joined.count(c.left_table) > 0 &&
+            joined.count(c.right_table) > 0 &&
+            (c.left_table == best_t || c.right_table == best_t)) {
+          join->predicates.push_back(c.expr->Clone());
+        }
+      }
+      for (int ci : ResidualConjuncts(query_, joined, best_t)) {
+        join->predicates.push_back(
+            query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
+      }
+      current = std::move(join);
+      current_rows = current->estimated_rows;
+    }
+    return Result<std::unique_ptr<PlanNode>>(std::move(current));
+  }
+
+  Result<std::unique_ptr<PlanNode>> AddAggregation(
+      std::unique_ptr<PlanNode> child) {
+    if (!query_.has_aggregates && !query_.is_grouped) {
+      return Result<std::unique_ptr<PlanNode>>(std::move(child));
+    }
+    auto agg = std::make_unique<PlanNode>(PlanOp::kHashAggregate);
+    double in_rows = child->estimated_rows;
+    OutputSlotMap slots;
+    int slot = 0;
+    for (const auto& g : query_.stmt.group_by) {
+      agg->group_keys.push_back(g->Clone());
+      slots[g->ToString()] = slot++;
+    }
+    for (const Expr* a : CollectAggregates(query_)) {
+      agg->aggregates.push_back(a->Clone());
+      slots[a->ToString()] = slot++;
+    }
+    double groups = 1.0;
+    for (const auto& g : agg->group_keys) {
+      std::vector<const Expr*> refs;
+      g->CollectColumnRefs(&refs);
+      double k = refs.empty() ? 10.0 : est_.ColumnNdv(query_, *refs[0]);
+      groups *= k;
+    }
+    groups = std::min(groups, in_rows);
+    agg->estimated_rows = std::max(groups, 1.0);
+    agg->total_cost = child->total_cost + in_rows * params_.agg_row;
+    agg->children.push_back(std::move(child));
+    agg_slots_ = std::move(slots);
+    std::unique_ptr<PlanNode> result = std::move(agg);
+    if (query_.stmt.having != nullptr) {
+      // HAVING: a filter over the aggregation's output layout.
+      auto having = std::make_unique<PlanNode>(PlanOp::kFilter);
+      std::unique_ptr<Expr> pred;
+      HTAPEX_ASSIGN_OR_RETURN(pred,
+                              RewriteForOutput(*query_.stmt.having, agg_slots_));
+      having->predicates.push_back(std::move(pred));
+      having->estimated_rows =
+          std::max(result->estimated_rows * CardinalityEstimator::kDefaultSelectivity, 1.0);
+      having->total_cost = result->total_cost;
+      having->children.push_back(std::move(result));
+      result = std::move(having);
+    }
+    return Result<std::unique_ptr<PlanNode>>(std::move(result));
+  }
+
+  Result<std::unique_ptr<Expr>> FinalExpr(const Expr& e) const {
+    if (agg_slots_.empty()) return e.Clone();
+    return RewriteForOutput(e, agg_slots_);
+  }
+
+  Result<std::unique_ptr<PlanNode>> AddOrderLimitProject(
+      std::unique_ptr<PlanNode> child) {
+    const SelectStatement& stmt = query_.stmt;
+    double rows = child->estimated_rows;
+
+    if (!stmt.order_by.empty() && stmt.limit.has_value()) {
+      // Bounded-heap Top-N: AP's way to avoid a full sort.
+      auto topn = std::make_unique<PlanNode>(PlanOp::kTopN);
+      for (const auto& o : stmt.order_by) {
+        std::unique_ptr<Expr> key;
+        HTAPEX_ASSIGN_OR_RETURN(key, FinalExpr(*o.expr));
+        topn->sort_keys.push_back(SortKey{std::move(key), o.descending});
+      }
+      topn->limit = *stmt.limit;
+      topn->offset = stmt.offset.value_or(0);
+      double k = static_cast<double>(*stmt.limit + stmt.offset.value_or(0));
+      topn->estimated_rows = std::min(rows, static_cast<double>(*stmt.limit));
+      topn->total_cost =
+          child->total_cost + rows * params_.topn_row * Log2(std::max(k, 2.0));
+      topn->children.push_back(std::move(child));
+      child = std::move(topn);
+    } else {
+      if (!stmt.order_by.empty()) {
+        auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+        for (const auto& o : stmt.order_by) {
+          std::unique_ptr<Expr> key;
+          HTAPEX_ASSIGN_OR_RETURN(key, FinalExpr(*o.expr));
+          sort->sort_keys.push_back(SortKey{std::move(key), o.descending});
+        }
+        sort->estimated_rows = rows;
+        sort->total_cost =
+            child->total_cost + rows * Log2(rows) * params_.sort_row_log;
+        sort->children.push_back(std::move(child));
+        child = std::move(sort);
+      }
+      if (stmt.limit.has_value() || stmt.offset.has_value()) {
+        auto limit = std::make_unique<PlanNode>(PlanOp::kLimit);
+        limit->limit = stmt.limit.value_or(-1);
+        limit->offset = stmt.offset.value_or(0);
+        double out = rows;
+        if (stmt.limit.has_value()) {
+          out = std::min(out, static_cast<double>(*stmt.limit));
+        }
+        limit->estimated_rows = std::max(out, 1.0);
+        limit->total_cost = child->total_cost;
+        limit->children.push_back(std::move(child));
+        child = std::move(limit);
+      }
+    }
+
+    bool identity = !agg_slots_.empty() &&
+                    query_.stmt.items.size() == agg_slots_.size();
+    if (identity) {
+      int pos = 0;
+      for (const auto& item : query_.stmt.items) {
+        auto it = agg_slots_.find(item.expr->ToString());
+        if (it == agg_slots_.end() || it->second != pos++) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    if (identity) return Result<std::unique_ptr<PlanNode>>(std::move(child));
+
+    auto project = std::make_unique<PlanNode>(PlanOp::kProject);
+    for (const auto& item : query_.stmt.items) {
+      std::unique_ptr<Expr> e;
+      HTAPEX_ASSIGN_OR_RETURN(e, FinalExpr(*item.expr));
+      project->projections.push_back(std::move(e));
+    }
+    project->estimated_rows = child->estimated_rows;
+    project->total_cost =
+        child->total_cost + child->estimated_rows * params_.output_row;
+    project->children.push_back(std::move(child));
+    return Result<std::unique_ptr<PlanNode>>(std::move(project));
+  }
+
+  [[maybe_unused]] const Catalog& catalog_;
+  const ApCostParams& params_;
+  const BoundQuery& query_;
+  CardinalityEstimator est_;
+  OutputSlotMap agg_slots_;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> ApOptimizer::Plan(const BoundQuery& query) const {
+  if (query.num_tables() == 0) {
+    return Status::PlanError("query has no tables");
+  }
+  ApPlanBuilder builder(catalog_, params_, query);
+  return builder.Build();
+}
+
+}  // namespace htapex

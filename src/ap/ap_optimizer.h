@@ -1,0 +1,45 @@
+#ifndef HTAPEX_AP_AP_OPTIMIZER_H_
+#define HTAPEX_AP_AP_OPTIMIZER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "sql/binder.h"
+
+namespace htapex {
+
+/// Cost constants of the AP (column-store) optimizer. Units are AP-internal
+/// "vector units" — a different scale from TP's units by construction; the
+/// two engines' costs are not comparable (the paper emphasizes this).
+struct ApCostParams {
+  double scan_value = 0.0005;     // read one column value
+  double hash_build_row = 0.002;  // insert one row into a join hash table
+  double hash_probe_row = 0.001;  // probe one row
+  double agg_row = 0.0015;        // hash-aggregate one row
+  double sort_row_log = 0.002;    // n*log2(n) multiplier
+  double topn_row = 0.0008;       // bounded-heap push
+  double output_row = 0.0005;     // emit one row
+  double startup = 30.0;          // distributed dispatch overhead
+};
+
+/// The AP engine's optimizer: columnar scans with predicate pushdown (only
+/// referenced columns are read), left-deep hash joins, hash aggregation,
+/// and bounded-heap Top-N. AP has no B+-tree indexes and no nested-loop
+/// joins — the mirror image of the TP engine.
+class ApOptimizer {
+ public:
+  explicit ApOptimizer(const Catalog& catalog, ApCostParams params = {})
+      : catalog_(catalog), params_(params) {}
+
+  Result<PhysicalPlan> Plan(const BoundQuery& query) const;
+
+  const ApCostParams& params() const { return params_; }
+
+ private:
+  const Catalog& catalog_;
+  ApCostParams params_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_AP_AP_OPTIMIZER_H_

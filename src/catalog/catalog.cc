@@ -1,0 +1,106 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+Status Catalog::AddTable(TableSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table already exists: " + schema.name());
+  }
+  tables_.emplace(schema.name(), std::move(schema));
+  return Status::OK();
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::AddIndex(IndexDef index) {
+  if (index.columns.empty()) {
+    return Status::InvalidArgument("index must cover at least one column");
+  }
+  auto table = GetTable(index.table);
+  if (!table.ok()) return table.status();
+  for (const auto& col : index.columns) {
+    if (!(*table)->HasColumn(col)) {
+      return Status::InvalidArgument(
+          StrFormat("index column %s.%s does not exist", index.table.c_str(),
+                    col.c_str()));
+    }
+  }
+  if (indexes_.count(index.name) > 0) {
+    return Status::AlreadyExists("index already exists: " + index.name);
+  }
+  indexes_.emplace(index.name, std::move(index));
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound("no such index: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<const IndexDef*> Catalog::IndexesOn(const std::string& table) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& [name, idx] : indexes_) {
+    if (idx.table == table) out.push_back(&idx);
+  }
+  return out;
+}
+
+const IndexDef* Catalog::FindIndexOnColumn(const std::string& table,
+                                           const std::string& column) const {
+  for (const auto& [name, idx] : indexes_) {
+    if (idx.table == table && idx.leading_column() == column) return &idx;
+  }
+  return nullptr;
+}
+
+std::vector<const IndexDef*> Catalog::AllIndexes() const {
+  std::vector<const IndexDef*> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, idx] : indexes_) out.push_back(&idx);
+  return out;
+}
+
+Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  if (!HasTable(table)) return Status::NotFound("no such table: " + table);
+  stats_[table] = std::move(stats);
+  return Status::OK();
+}
+
+Result<const TableStats*> Catalog::GetStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for table: " + table);
+  }
+  return &it->second;
+}
+
+int64_t Catalog::RowCount(const std::string& table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? 0 : it->second.row_count;
+}
+
+}  // namespace htapex

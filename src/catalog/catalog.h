@@ -1,0 +1,60 @@
+#ifndef HTAPEX_CATALOG_CATALOG_H_
+#define HTAPEX_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace htapex {
+
+/// The shared metadata layer of the HTAP system: table schemas, indexes, and
+/// statistics. Both engines read the same catalog; what differs is how their
+/// optimizers and cost models use it.
+///
+/// The catalog distinguishes two scale factors:
+///  - `stats_scale_factor`: the logical data volume the optimizers and the
+///    latency model reason about (the paper uses TPC-H SF=100, i.e. 100 GB);
+///  - the physical data loaded into the storage engines may be generated at
+///    a much smaller scale factor so queries really execute.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddTable(TableSchema schema);
+  Result<const TableSchema*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Adds an index; fails when the table or a column is unknown, or an index
+  /// with the same name exists.
+  Status AddIndex(IndexDef index);
+  Status DropIndex(const std::string& name);
+  /// All indexes on `table`.
+  std::vector<const IndexDef*> IndexesOn(const std::string& table) const;
+  /// The first index whose *leading* column is `column`, or nullptr.
+  const IndexDef* FindIndexOnColumn(const std::string& table,
+                                    const std::string& column) const;
+  std::vector<const IndexDef*> AllIndexes() const;
+
+  Status SetStats(const std::string& table, TableStats stats);
+  Result<const TableStats*> GetStats(const std::string& table) const;
+
+  /// Statistic row count of `table`, 0 when unknown.
+  int64_t RowCount(const std::string& table) const;
+
+  void set_stats_scale_factor(double sf) { stats_scale_factor_ = sf; }
+  double stats_scale_factor() const { return stats_scale_factor_; }
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+  std::map<std::string, IndexDef> indexes_;  // by index name
+  std::map<std::string, TableStats> stats_;  // by table name
+  double stats_scale_factor_ = 1.0;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_CATALOG_CATALOG_H_

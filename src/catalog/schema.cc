@@ -1,0 +1,12 @@
+#include "catalog/schema.h"
+
+namespace htapex {
+
+int TableSchema::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace htapex

@@ -1,0 +1,77 @@
+#ifndef HTAPEX_CATALOG_SCHEMA_H_
+#define HTAPEX_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace htapex {
+
+/// A column definition within a table.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt;
+};
+
+/// A (secondary or primary) index definition. Only the leading column is
+/// used for access-path matching, mirroring the paper's examples (e.g. the
+/// index on customer.c_phone).
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  bool is_primary = false;
+
+  const std::string& leading_column() const { return columns.front(); }
+};
+
+/// Immutable description of a table: name, ordered columns, primary key.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::vector<std::string> primary_key)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        primary_key_(std::move(primary_key)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Returns the ordinal of `column` or -1 when absent.
+  int ColumnIndex(const std::string& column) const;
+  bool HasColumn(const std::string& column) const {
+    return ColumnIndex(column) >= 0;
+  }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+};
+
+/// Per-column statistics used by both optimizers for selectivity and
+/// cardinality estimation.
+struct ColumnStats {
+  int64_t ndv = 1;          // number of distinct values
+  Value min;                // minimum value (NULL when unknown)
+  Value max;                // maximum value (NULL when unknown)
+  double null_fraction = 0.0;
+  double avg_width = 8.0;   // average encoded width in bytes
+};
+
+/// Per-table statistics (at the catalog's statistics scale factor).
+struct TableStats {
+  int64_t row_count = 0;
+  double avg_row_bytes = 0.0;
+  std::vector<ColumnStats> columns;  // parallel to TableSchema::columns()
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_CATALOG_SCHEMA_H_

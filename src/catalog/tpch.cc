@@ -1,0 +1,384 @@
+#include "catalog/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace htapex {
+namespace tpch {
+
+// Lower-cased value domains: ByteHTAP's examples in the paper use
+// lower-cased literals ('egypt', 'machinery', 'p'), so the whole dataset is
+// generated lower-case for ergonomic equality predicates.
+const std::vector<std::string> kNations = {
+    "algeria", "argentina", "brazil",  "canada",         "egypt",
+    "ethiopia", "france",   "germany", "india",          "indonesia",
+    "iran",     "iraq",     "japan",   "jordan",         "kenya",
+    "morocco",  "mozambique", "peru",  "china",          "romania",
+    "saudi arabia", "vietnam", "russia", "united kingdom", "united states"};
+
+const std::vector<std::string> kRegions = {"africa", "america", "asia",
+                                           "europe", "middle east"};
+
+const std::vector<std::string> kMktSegments = {"automobile", "building",
+                                               "furniture", "machinery",
+                                               "household"};
+
+const std::vector<std::string> kOrderStatus = {"o", "f", "p"};
+
+const std::vector<std::string> kOrderPriority = {
+    "1-urgent", "2-high", "3-medium", "4-not specified", "5-low"};
+
+const std::vector<std::string> kShipModes = {"reg air", "air",  "rail", "ship",
+                                             "truck",   "mail", "fob"};
+
+const std::vector<std::string> kLineStatus = {"o", "f"};
+
+const std::vector<std::string> kPartTypes = {
+    "standard", "small", "medium", "large", "economy", "promo"};
+
+const std::vector<std::string> kPartContainers = {
+    "sm case", "sm box", "sm pack", "sm pkg", "med bag", "med box",
+    "lg case", "lg box", "lg pack", "lg pkg", "jumbo box", "wrap case"};
+
+const std::vector<std::string> kPhonePrefixes = [] {
+  // TPC-H phone country codes are 10 + nationkey, i.e. "10".."34".
+  std::vector<std::string> v;
+  for (int i = 0; i < 25; ++i) v.push_back(StrFormat("%d", 10 + i));
+  return v;
+}();
+
+namespace {
+int64_t DateOrDie(const char* s) {
+  int64_t d = 0;
+  ParseDate(s, &d);
+  return d;
+}
+}  // namespace
+
+const int64_t kMinOrderDate = DateOrDie("1992-01-01");
+const int64_t kMaxOrderDate = DateOrDie("1998-08-02");
+
+int64_t BaseRowCount(const std::string& table) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return 10'000;
+  if (table == "customer") return 150'000;
+  if (table == "part") return 200'000;
+  if (table == "partsupp") return 800'000;
+  if (table == "orders") return 1'500'000;
+  if (table == "lineitem") return 6'001'215;
+  return 0;
+}
+
+int64_t RowCountAtScale(const std::string& table, double scale_factor) {
+  int64_t base = BaseRowCount(table);
+  if (table == "region" || table == "nation") return base;
+  int64_t n = static_cast<int64_t>(std::llround(base * scale_factor));
+  return n < 1 ? 1 : n;
+}
+
+namespace {
+
+ColumnStats IntStats(int64_t ndv, int64_t min, int64_t max, double width = 8) {
+  ColumnStats s;
+  s.ndv = ndv < 1 ? 1 : ndv;
+  s.min = Value::Int(min);
+  s.max = Value::Int(max);
+  s.avg_width = width;
+  return s;
+}
+
+ColumnStats DoubleStats(int64_t ndv, double min, double max) {
+  ColumnStats s;
+  s.ndv = ndv < 1 ? 1 : ndv;
+  s.min = Value::Double(min);
+  s.max = Value::Double(max);
+  s.avg_width = 8;
+  return s;
+}
+
+ColumnStats StringStats(int64_t ndv, double avg_width) {
+  ColumnStats s;
+  s.ndv = ndv < 1 ? 1 : ndv;
+  s.avg_width = avg_width;
+  return s;
+}
+
+struct TableSpec {
+  TableSchema schema;
+  TableStats stats;
+};
+
+TableSpec MakeRegion() {
+  TableSpec t;
+  t.schema = TableSchema(
+      "region",
+      {{"r_regionkey", DataType::kInt},
+       {"r_name", DataType::kString},
+       {"r_comment", DataType::kString}},
+      {"r_regionkey"});
+  t.stats.row_count = 5;
+  t.stats.columns = {IntStats(5, 0, 4), StringStats(5, 9), StringStats(5, 60)};
+  return t;
+}
+
+TableSpec MakeNation() {
+  TableSpec t;
+  t.schema = TableSchema(
+      "nation",
+      {{"n_nationkey", DataType::kInt},
+       {"n_name", DataType::kString},
+       {"n_regionkey", DataType::kInt},
+       {"n_comment", DataType::kString}},
+      {"n_nationkey"});
+  t.stats.row_count = 25;
+  t.stats.columns = {IntStats(25, 0, 24), StringStats(25, 10),
+                     IntStats(5, 0, 4), StringStats(25, 70)};
+  return t;
+}
+
+TableSpec MakeSupplier(double sf) {
+  int64_t n = RowCountAtScale("supplier", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "supplier",
+      {{"s_suppkey", DataType::kInt},
+       {"s_name", DataType::kString},
+       {"s_address", DataType::kString},
+       {"s_nationkey", DataType::kInt},
+       {"s_phone", DataType::kString},
+       {"s_acctbal", DataType::kDouble},
+       {"s_comment", DataType::kString}},
+      {"s_suppkey"});
+  t.stats.row_count = n;
+  t.stats.columns = {IntStats(n, 1, n),       StringStats(n, 18),
+                     StringStats(n, 25),      IntStats(25, 0, 24),
+                     StringStats(n, 15),      DoubleStats(n, -999.99, 9999.99),
+                     StringStats(n, 60)};
+  return t;
+}
+
+TableSpec MakeCustomer(double sf) {
+  int64_t n = RowCountAtScale("customer", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "customer",
+      {{"c_custkey", DataType::kInt},
+       {"c_name", DataType::kString},
+       {"c_address", DataType::kString},
+       {"c_nationkey", DataType::kInt},
+       {"c_phone", DataType::kString},
+       {"c_acctbal", DataType::kDouble},
+       {"c_mktsegment", DataType::kString},
+       {"c_comment", DataType::kString}},
+      {"c_custkey"});
+  t.stats.row_count = n;
+  t.stats.columns = {IntStats(n, 1, n),
+                     StringStats(n, 18),
+                     StringStats(n, 25),
+                     IntStats(25, 0, 24),
+                     StringStats(n, 15),
+                     DoubleStats(n, -999.99, 9999.99),
+                     StringStats(5, 10),
+                     StringStats(n, 73)};
+  return t;
+}
+
+TableSpec MakePart(double sf) {
+  int64_t n = RowCountAtScale("part", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "part",
+      {{"p_partkey", DataType::kInt},
+       {"p_name", DataType::kString},
+       {"p_mfgr", DataType::kString},
+       {"p_brand", DataType::kString},
+       {"p_type", DataType::kString},
+       {"p_size", DataType::kInt},
+       {"p_container", DataType::kString},
+       {"p_retailprice", DataType::kDouble},
+       {"p_comment", DataType::kString}},
+      {"p_partkey"});
+  t.stats.row_count = n;
+  // p_type composes "<type> <finish> <metal>" (6 x 5 x 5 variants);
+  // p_comment is two words from the 24-word pool (<= 576 variants).
+  t.stats.columns = {IntStats(n, 1, n),
+                     StringStats(n, 32),
+                     StringStats(5, 14),
+                     StringStats(25, 8),
+                     StringStats(150, 12),
+                     IntStats(50, 1, 50),
+                     StringStats(static_cast<int64_t>(kPartContainers.size()), 8),
+                     DoubleStats(n / 10 + 1, 900.0, 2100.0),
+                     StringStats(std::min<int64_t>(n, 576), 14)};
+  return t;
+}
+
+TableSpec MakePartsupp(double sf) {
+  int64_t n = RowCountAtScale("partsupp", sf);
+  int64_t parts = RowCountAtScale("part", sf);
+  int64_t supps = RowCountAtScale("supplier", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "partsupp",
+      {{"ps_partkey", DataType::kInt},
+       {"ps_suppkey", DataType::kInt},
+       {"ps_availqty", DataType::kInt},
+       {"ps_supplycost", DataType::kDouble},
+       {"ps_comment", DataType::kString}},
+      {"ps_partkey", "ps_suppkey"});
+  t.stats.row_count = n;
+  t.stats.columns = {IntStats(parts, 1, parts), IntStats(supps, 1, supps),
+                     IntStats(9999, 1, 9999), DoubleStats(n / 100 + 1, 1.0, 1000.0),
+                     StringStats(n, 120)};
+  return t;
+}
+
+TableSpec MakeOrders(double sf) {
+  int64_t n = RowCountAtScale("orders", sf);
+  int64_t custs = RowCountAtScale("customer", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "orders",
+      {{"o_orderkey", DataType::kInt},
+       {"o_custkey", DataType::kInt},
+       {"o_orderstatus", DataType::kString},
+       {"o_totalprice", DataType::kDouble},
+       {"o_orderdate", DataType::kDate},
+       {"o_orderpriority", DataType::kString},
+       {"o_clerk", DataType::kString},
+       {"o_shippriority", DataType::kInt},
+       {"o_comment", DataType::kString}},
+      {"o_orderkey"});
+  t.stats.row_count = n;
+  // Only ~2/3 of customers have orders in TPC-H; ndv reflects that.
+  t.stats.columns = {IntStats(n, 1, 4 * n),
+                     IntStats((custs * 2) / 3 + 1, 1, custs),
+                     StringStats(3, 1),
+                     DoubleStats(n / 2 + 1, 850.0, 560000.0),
+                     IntStats(kMaxOrderDate - kMinOrderDate + 1, kMinOrderDate,
+                              kMaxOrderDate, 4),
+                     StringStats(5, 13),
+                     StringStats(1000, 15),
+                     IntStats(1, 0, 0),
+                     StringStats(n, 48)};
+  return t;
+}
+
+TableSpec MakeLineitem(double sf) {
+  int64_t n = RowCountAtScale("lineitem", sf);
+  int64_t orders = RowCountAtScale("orders", sf);
+  int64_t parts = RowCountAtScale("part", sf);
+  int64_t supps = RowCountAtScale("supplier", sf);
+  TableSpec t;
+  t.schema = TableSchema(
+      "lineitem",
+      {{"l_orderkey", DataType::kInt},
+       {"l_partkey", DataType::kInt},
+       {"l_suppkey", DataType::kInt},
+       {"l_linenumber", DataType::kInt},
+       {"l_quantity", DataType::kDouble},
+       {"l_extendedprice", DataType::kDouble},
+       {"l_discount", DataType::kDouble},
+       {"l_tax", DataType::kDouble},
+       {"l_returnflag", DataType::kString},
+       {"l_linestatus", DataType::kString},
+       {"l_shipdate", DataType::kDate},
+       {"l_commitdate", DataType::kDate},
+       {"l_receiptdate", DataType::kDate},
+       {"l_shipinstruct", DataType::kString},
+       {"l_shipmode", DataType::kString},
+       {"l_comment", DataType::kString}},
+      {"l_orderkey", "l_linenumber"});
+  t.stats.row_count = n;
+  t.stats.columns = {IntStats(orders, 1, 4 * orders),
+                     IntStats(parts, 1, parts),
+                     IntStats(supps, 1, supps),
+                     IntStats(7, 1, 7),
+                     DoubleStats(50, 1.0, 50.0),
+                     DoubleStats(n / 3 + 1, 900.0, 105000.0),
+                     DoubleStats(11, 0.0, 0.10),
+                     DoubleStats(9, 0.0, 0.08),
+                     StringStats(3, 1),
+                     StringStats(2, 1),
+                     IntStats(kMaxOrderDate - kMinOrderDate + 1 + 122,
+                              kMinOrderDate, kMaxOrderDate + 122, 4),
+                     IntStats(kMaxOrderDate - kMinOrderDate + 1 + 92,
+                              kMinOrderDate, kMaxOrderDate + 92, 4),
+                     IntStats(kMaxOrderDate - kMinOrderDate + 1 + 152,
+                              kMinOrderDate, kMaxOrderDate + 152, 4),
+                     StringStats(4, 12),
+                     StringStats(static_cast<int64_t>(kShipModes.size()), 5),
+                     StringStats(n, 26)};
+  return t;
+}
+
+Status AddSpec(Catalog* catalog, TableSpec spec) {
+  // Compute avg_row_bytes from column widths.
+  double row_bytes = 0;
+  for (const auto& cs : spec.stats.columns) row_bytes += cs.avg_width;
+  spec.stats.avg_row_bytes = row_bytes;
+  std::string name = spec.schema.name();
+  HTAPEX_RETURN_IF_ERROR(catalog->AddTable(std::move(spec.schema)));
+  return catalog->SetStats(name, std::move(spec.stats));
+}
+
+Status AddPrimaryAndForeignKeyIndexes(Catalog* catalog) {
+  auto pk = [&](const std::string& table, const std::string& col) {
+    IndexDef idx;
+    idx.name = "pk_" + table;
+    idx.table = table;
+    idx.columns = {col};
+    idx.unique = true;
+    idx.is_primary = true;
+    return catalog->AddIndex(std::move(idx));
+  };
+  auto fk = [&](const std::string& table, const std::string& col) {
+    IndexDef idx;
+    idx.name = "fk_" + table + "_" + col;
+    idx.table = table;
+    idx.columns = {col};
+    idx.unique = false;
+    idx.is_primary = false;
+    return catalog->AddIndex(std::move(idx));
+  };
+  HTAPEX_RETURN_IF_ERROR(pk("region", "r_regionkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("nation", "n_nationkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("supplier", "s_suppkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("customer", "c_custkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("part", "p_partkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("partsupp", "ps_partkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("orders", "o_orderkey"));
+  HTAPEX_RETURN_IF_ERROR(pk("lineitem", "l_orderkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("nation", "n_regionkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("supplier", "s_nationkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("customer", "c_nationkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("partsupp", "ps_suppkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("orders", "o_custkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("lineitem", "l_partkey"));
+  HTAPEX_RETURN_IF_ERROR(fk("lineitem", "l_suppkey"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildCatalog(Catalog* catalog, double stats_scale_factor) {
+  if (stats_scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  catalog->set_stats_scale_factor(stats_scale_factor);
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeRegion()));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeNation()));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeSupplier(stats_scale_factor)));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeCustomer(stats_scale_factor)));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakePart(stats_scale_factor)));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakePartsupp(stats_scale_factor)));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeOrders(stats_scale_factor)));
+  HTAPEX_RETURN_IF_ERROR(AddSpec(catalog, MakeLineitem(stats_scale_factor)));
+  return AddPrimaryAndForeignKeyIndexes(catalog);
+}
+
+}  // namespace tpch
+}  // namespace htapex

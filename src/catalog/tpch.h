@@ -1,0 +1,44 @@
+#ifndef HTAPEX_CATALOG_TPCH_H_
+#define HTAPEX_CATALOG_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace htapex {
+namespace tpch {
+
+/// Value domains of the TPC-H schema, shared by the statistics model, the
+/// data generator, and the synthetic query generator.
+extern const std::vector<std::string> kNations;       // 25 nation names
+extern const std::vector<std::string> kRegions;       // 5 region names
+extern const std::vector<std::string> kMktSegments;   // 5 market segments
+extern const std::vector<std::string> kOrderStatus;   // {"o","f","p"}
+extern const std::vector<std::string> kOrderPriority; // 5 priorities
+extern const std::vector<std::string> kShipModes;     // 7 ship modes
+extern const std::vector<std::string> kLineStatus;    // {"o","f"}
+extern const std::vector<std::string> kPartTypes;     // part type suffixes
+extern const std::vector<std::string> kPartContainers;
+extern const std::vector<std::string> kPhonePrefixes; // "10".."34" per nation
+
+/// Base (scale-factor 1) row counts.
+int64_t BaseRowCount(const std::string& table);
+/// Row count at the given scale factor (fixed-size tables stay fixed).
+int64_t RowCountAtScale(const std::string& table, double scale_factor);
+
+/// Builds the eight TPC-H table schemas, primary-key indexes, foreign-key
+/// indexes, and analytic statistics at `stats_scale_factor` (the paper's
+/// setting: 100, i.e. a 100 GB dataset).
+Status BuildCatalog(Catalog* catalog, double stats_scale_factor);
+
+/// Dates present in the dataset, as days since epoch: o_orderdate spans
+/// [kMinOrderDate, kMaxOrderDate].
+extern const int64_t kMinOrderDate;
+extern const int64_t kMaxOrderDate;
+
+}  // namespace tpch
+}  // namespace htapex
+
+#endif  // HTAPEX_CATALOG_TPCH_H_

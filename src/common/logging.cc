@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("HTAPEX_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (EqualsIgnoreCase(env, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCase(env, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(env, "warning") || EqualsIgnoreCase(env, "warn")) {
+    return LogLevel::kWarning;
+  }
+  if (EqualsIgnoreCase(env, "error")) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+// Plain int with trivial destruction (see the style rules on statics);
+// -1 = uninitialized.
+int g_level = -1;
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  if (g_level < 0) g_level = static_cast<int>(ParseEnvLevel());
+  return static_cast<LogLevel>(g_level);
+}
+
+void SetGlobalLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLogLevel());
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LogLevelName(level) << " " << (base ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string text = stream_.str();
+  std::fprintf(stderr, "%s\n", text.c_str());
+  if (level_ == LogLevel::kError) std::fflush(stderr);
+}
+
+}  // namespace internal_logging
+
+}  // namespace htapex

@@ -1,0 +1,54 @@
+#ifndef HTAPEX_COMMON_LOGGING_H_
+#define HTAPEX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace htapex {
+
+/// Minimal leveled logger. Records go to stderr; the threshold comes from
+/// the HTAPEX_LOG_LEVEL environment variable (DEBUG/INFO/WARNING/ERROR,
+/// default WARNING) so library users and benches stay quiet unless asked.
+///
+/// Usage: HTAPEX_LOG(INFO) << "loaded " << n << " rows";
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Current threshold (parsed once from the environment, overridable).
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+/// True when `level` records would currently be emitted.
+bool LogEnabled(LogLevel level);
+
+namespace internal_logging {
+
+/// Collects one record and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define HTAPEX_LOG(severity)                                         \
+  if (!::htapex::LogEnabled(::htapex::LogLevel::k##severity)) {      \
+  } else /* NOLINT */                                                \
+    ::htapex::internal_logging::LogMessage(                          \
+        ::htapex::LogLevel::k##severity, __FILE__, __LINE__)         \
+        .stream()
+
+}  // namespace htapex
+
+#endif  // HTAPEX_COMMON_LOGGING_H_

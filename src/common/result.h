@@ -1,0 +1,74 @@
+#ifndef HTAPEX_COMMON_RESULT_H_
+#define HTAPEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace htapex {
+
+/// A value-or-error holder in the style of arrow::Result / absl::StatusOr.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of an error Result is a programming error (checked by assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, else assigning the
+/// value into `lhs` (which must be a declaration or assignable lvalue).
+#define HTAPEX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define HTAPEX_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define HTAPEX_ASSIGN_OR_RETURN_NAME(a, b) HTAPEX_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define HTAPEX_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  HTAPEX_ASSIGN_OR_RETURN_IMPL(                                              \
+      HTAPEX_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace htapex
+
+#endif  // HTAPEX_COMMON_RESULT_H_

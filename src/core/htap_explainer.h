@@ -1,0 +1,121 @@
+#ifndef HTAPEX_CORE_HTAP_EXPLAINER_H_
+#define HTAPEX_CORE_HTAP_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/htap_system.h"
+#include "expert/expert_analyzer.h"
+#include "expert/grader.h"
+#include "llm/llm.h"
+#include "rag/retriever.h"
+#include "router/smart_router.h"
+#include "vectordb/knowledge_base.h"
+
+namespace htapex {
+
+/// Configuration of the explanation framework.
+struct ExplainerConfig {
+  /// Top-K similar plan pairs to retrieve (the paper's default is 2).
+  int retrieval_k = 2;
+  /// "doubao" or "gpt4" — the simulated pre-trained model persona.
+  std::string persona = "doubao";
+  /// false = DBG-PT-style baseline: no knowledge retrieved, RAG sections
+  /// removed from the prompt (the paper's Section VI-D comparison setup).
+  bool use_rag = true;
+  /// Exact or HNSW-indexed knowledge-base search.
+  KnowledgeBase::IndexMode kb_index = KnowledgeBase::IndexMode::kExact;
+  /// Router training workload size and epochs.
+  int router_train_queries = 320;
+  int router_train_epochs = 60;
+  /// Quantization step for stored/query embeddings (vector-code
+  /// compression); 0 disables. Kept as an ablation knob — see
+  /// SmartRouter::set_embedding_quantization.
+  double embedding_quantization = 0.0;
+  uint64_t seed = 7;
+  /// Additional user context appended to prompts (Table I's third section).
+  std::string user_context =
+      "Beyond the default indexes on primary and foreign keys, an "
+      "additional index has been created on the c_phone column in the "
+      "customer table.";
+};
+
+/// Everything produced while explaining one query.
+struct ExplainResult {
+  HtapQueryOutcome outcome;        // plans, modelled latencies, faster engine
+  ExpertAnalysis truth;            // ground-truth analysis (for evaluation)
+  Prompt prompt;                   // what the model saw
+  RetrievalResult retrieval;       // what the retriever returned
+  GeneratedExplanation generation; // what the model produced
+  GradeResult grade;               // expert grading vs truth
+  std::vector<double> embedding;   // the 16-dim plan-pair encoding
+  double router_encode_ms = 0.0;   // measured embedding time
+  /// End-to-end (paper Section VI-B): encode + search + thinking + generation.
+  double end_to_end_ms() const {
+    return router_encode_ms + retrieval.search_ms + generation.timing.total_ms();
+  }
+};
+
+/// The paper's contribution, end to end: a RAG-augmented LLM framework that
+/// explains TP/AP performance differences. Owns the smart router (tree-CNN
+/// classifier + plan-pair encoder), the vector knowledge base with
+/// expert-curated explanations, the prompt builder (Table I), and the
+/// simulated pre-trained LLM.
+class HtapExplainer {
+ public:
+  /// `system` must outlive the explainer.
+  HtapExplainer(const HtapSystem* system, ExplainerConfig config);
+
+  /// Trains the smart router on a generated workload labelled by the
+  /// latency model (the router's original routing task, which is what
+  /// makes its embeddings performance-aware).
+  Result<RouterTrainStats> TrainRouter();
+
+  /// Expert-annotates the given queries and inserts them as knowledge-base
+  /// entries.
+  Status AddToKnowledgeBase(const std::vector<std::string>& sqls);
+
+  /// The paper's 20 representative queries: a deterministic selection that
+  /// covers the workload's performance-distinction patterns.
+  Status BuildDefaultKnowledgeBase();
+
+  /// Full pipeline for one query: plan both engines, embed the pair,
+  /// retrieve top-K knowledge, prompt the model, grade the output.
+  Result<ExplainResult> Explain(const std::string& sql);
+
+  /// The expert feedback loop: after a non-accurate explanation, the expert
+  /// corrects it and the corrected entry joins the knowledge base for
+  /// future retrieval (Section III-B).
+  Status IncorporateCorrection(const ExplainResult& result);
+
+  /// Conversational follow-up (Section VI-B's closing example): answers a
+  /// user's follow-up question about a produced explanation.
+  std::string AnswerFollowUp(const ExplainResult& result,
+                             const std::string& question) const;
+
+  const SmartRouter& router() const { return router_; }
+  SmartRouter& mutable_router() { return router_; }
+  const KnowledgeBase& knowledge_base() const { return kb_; }
+  KnowledgeBase& mutable_knowledge_base() { return kb_; }
+  const ExplainerConfig& config() const { return config_; }
+  const HtapSystem& system() const { return *system_; }
+
+ private:
+  Result<ExpertAnalysis> AnalyzeCase(const HtapQueryOutcome& outcome,
+                                     const BoundQuery& query) const;
+
+  const HtapSystem* system_;
+  ExplainerConfig config_;
+  SmartRouter router_;
+  KnowledgeBase kb_;
+  Retriever retriever_;
+  PromptBuilder prompt_builder_;
+  std::unique_ptr<SimulatedLlm> llm_;
+  ExpertAnalyzer expert_;
+  ExpertGrader grader_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_CORE_HTAP_EXPLAINER_H_

@@ -1,0 +1,655 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "storage/btree.h"
+
+namespace htapex {
+
+namespace {
+
+/// Applies every predicate on `node` to `row`; all must pass.
+Result<bool> PassesPredicates(const PlanNode& node, const Row& row) {
+  for (const auto& p : node.predicates) {
+    Result<bool> pass = EvalPredicate(*p, row);
+    if (!pass.ok()) return pass;
+    if (!*pass) return false;
+  }
+  return true;
+}
+
+/// Lexicographic comparison of rows under sort keys; returns true when a
+/// precedes b.
+struct SortKeyLess {
+  const std::vector<SortKey>* keys;
+  Result<bool>* error_sink;
+
+  bool operator()(const std::pair<Row, Row>& a,
+                  const std::pair<Row, Row>& b) const {
+    // first = key values, second = payload row
+    for (size_t i = 0; i < keys->size(); ++i) {
+      int c = a.first[i].Compare(b.first[i]);
+      if (c != 0) return (*keys)[i].descending ? c > 0 : c < 0;
+    }
+    return false;
+  }
+};
+
+/// Aggregate accumulator for one group.
+struct AggState {
+  int64_t count = 0;        // rows (for COUNT(*)) or non-null args
+  double sum = 0.0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min, max;
+  bool any = false;
+  // DISTINCT aggregates track the values already seen.
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  std::set<Value, ValueLess> seen;
+};
+
+Value FinalizeAgg(const Expr& agg, const AggState& s) {
+  switch (agg.agg_kind) {
+    case AggKind::kCount:
+      return Value::Int(s.count);
+    case AggKind::kSum:
+      if (!s.any) return Value::Null();
+      return s.sum_is_int ? Value::Int(s.isum) : Value::Double(s.sum);
+    case AggKind::kAvg:
+      if (s.count == 0) return Value::Null();
+      return Value::Double((s.sum_is_int ? static_cast<double>(s.isum) : s.sum) /
+                           static_cast<double>(s.count));
+    case AggKind::kMin:
+      return s.any ? s.min : Value::Null();
+    case AggKind::kMax:
+      return s.any ? s.max : Value::Null();
+  }
+  return Value::Null();
+}
+
+Status AccumulateAgg(const Expr& agg, const Row& row, AggState* s) {
+  if (agg.count_star) {
+    ++s->count;
+    return Status::OK();
+  }
+  Result<Value> v = EvalExpr(*agg.children[0], row);
+  if (!v.ok()) return v.status();
+  if (v->is_null()) return Status::OK();
+  if (agg.distinct && !s->seen.insert(*v).second) {
+    return Status::OK();  // duplicate under DISTINCT: ignore
+  }
+  ++s->count;
+  if (agg.agg_kind == AggKind::kSum || agg.agg_kind == AggKind::kAvg) {
+    if (v->is_int() && s->sum_is_int) {
+      s->isum += v->AsInt();
+    } else {
+      if (s->sum_is_int) {
+        s->sum = static_cast<double>(s->isum);
+        s->sum_is_int = false;
+      }
+      s->sum += v->AsDouble();
+    }
+  }
+  if (!s->any) {
+    s->min = *v;
+    s->max = *v;
+    s->any = true;
+  } else {
+    if (v->Compare(s->min) < 0) s->min = *v;
+    if (v->Compare(s->max) > 0) s->max = *v;
+  }
+  return Status::OK();
+}
+
+/// Zone-map check: can segment `seg` of `col` contain rows satisfying the
+/// sargable predicate `p` (a comparison/IN/BETWEEN over literals)?
+bool SegmentMayMatch(const ColumnVector& col, size_t seg, const Expr& p) {
+  Value zmin, zmax;
+  if (!col.ZoneRange(seg, &zmin, &zmax)) return false;  // all-null segment
+  switch (p.kind) {
+    case ExprKind::kComparison: {
+      const Value& lit = p.children[1]->literal;
+      switch (p.cmp_op) {
+        case CompareOp::kEq:
+          return lit.Compare(zmin) >= 0 && lit.Compare(zmax) <= 0;
+        case CompareOp::kLt:
+          return zmin.Compare(lit) < 0;
+        case CompareOp::kLe:
+          return zmin.Compare(lit) <= 0;
+        case CompareOp::kGt:
+          return zmax.Compare(lit) > 0;
+        case CompareOp::kGe:
+          return zmax.Compare(lit) >= 0;
+        default:
+          return true;
+      }
+    }
+    case ExprKind::kIn: {
+      for (size_t i = 1; i < p.children.size(); ++i) {
+        const Value& lit = p.children[i]->literal;
+        if (lit.Compare(zmin) >= 0 && lit.Compare(zmax) <= 0) return true;
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      const Value& lo = p.children[1]->literal;
+      const Value& hi = p.children[2]->literal;
+      return !(zmax.Compare(lo) < 0 || zmin.Compare(hi) > 0);
+    }
+    default:
+      return true;
+  }
+}
+
+/// True when `p` has a zone-map-checkable shape over a bare column.
+bool IsZoneCheckable(const Expr& p) {
+  if (p.kind == ExprKind::kComparison) {
+    return p.children[0]->kind == ExprKind::kColumnRef &&
+           p.children[1]->kind == ExprKind::kLiteral;
+  }
+  if (p.kind == ExprKind::kIn || p.kind == ExprKind::kBetween) {
+    if (p.children[0]->kind != ExprKind::kColumnRef) return false;
+    for (size_t i = 1; i < p.children.size(); ++i) {
+      if (p.children[i]->kind != ExprKind::kLiteral) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string QueryResultSet::Fingerprint() const {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "|";
+      // Normalize numerics through double formatting so Int(3)/Double(3.0)
+      // from different engines compare equal.
+      if (row[i].is_null()) {
+        line += "NULL";
+      } else if (row[i].is_string()) {
+        line += row[i].AsString();
+      } else {
+        line += StrFormat("%.6g", row[i].AsDouble());
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return Join(lines, "\n");
+}
+
+Row Executor::MakeComposite(const PlanNode& scan, const Row& base_row,
+                            int total_slots) const {
+  Row out(static_cast<size_t>(total_slots), Value::Null());
+  for (size_t c = 0; c < base_row.size(); ++c) {
+    out[static_cast<size_t>(scan.slot_offset) + c] = base_row[c];
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunTableScan(const PlanNode& node,
+                                              int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(const TableData* data,
+                          row_store_.GetTable(node.relation));
+  Rows out;
+  for (const Row& base : data->rows) {
+    Row row = MakeComposite(node, base, total_slots);
+    HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, row));
+    if (pass) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunIndexScan(const PlanNode& node,
+                                              int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(const TableData* data,
+                          row_store_.GetTable(node.relation));
+  const BTreeIndex* index = row_store_.GetIndex(node.index_name);
+  if (index == nullptr) {
+    return Status::ExecutionError("index not built: " + node.index_name);
+  }
+  Rows out;
+  auto emit = [&](uint32_t row_id) -> Status {
+    Row row = MakeComposite(node, data->rows[row_id], total_slots);
+    Result<bool> pass = PassesPredicates(node, row);
+    if (!pass.ok()) return pass.status();
+    if (*pass) out.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  if (node.predicates.empty()) {
+    // Ordered full scan (top-N by index order), ascending or descending.
+    bool desc = !node.sort_keys.empty() && node.sort_keys[0].descending;
+    Status st = Status::OK();
+    auto visit = [&](const Value&, uint32_t row_id) {
+      st = emit(row_id);
+      return st.ok();
+    };
+    if (desc) {
+      index->FullScanDesc(visit);
+    } else {
+      index->FullScan(visit);
+    }
+    HTAPEX_RETURN_IF_ERROR(st);
+    return out;
+  }
+
+  // Derive probe values / ranges from the (sargable) index condition.
+  const Expr& p = *node.predicates[0];
+  Status st = Status::OK();
+  if (p.kind == ExprKind::kComparison && p.cmp_op == CompareOp::kEq) {
+    for (uint32_t row_id : index->PointLookup(p.children[1]->literal)) {
+      HTAPEX_RETURN_IF_ERROR(emit(row_id));
+    }
+  } else if (p.kind == ExprKind::kIn) {
+    for (size_t i = 1; i < p.children.size(); ++i) {
+      for (uint32_t row_id : index->PointLookup(p.children[i]->literal)) {
+        HTAPEX_RETURN_IF_ERROR(emit(row_id));
+      }
+    }
+  } else if (p.kind == ExprKind::kBetween) {
+    const Value lo = p.children[1]->literal;
+    const Value hi = p.children[2]->literal;
+    index->RangeScan(&lo, true, &hi, true, [&](const Value&, uint32_t row_id) {
+      st = emit(row_id);
+      return st.ok();
+    });
+    HTAPEX_RETURN_IF_ERROR(st);
+  } else if (p.kind == ExprKind::kComparison) {
+    const Value& lit = p.children[1]->literal;
+    bool lo_incl = p.cmp_op == CompareOp::kGe;
+    bool hi_incl = p.cmp_op == CompareOp::kLe;
+    const Value* lo = nullptr;
+    const Value* hi = nullptr;
+    if (p.cmp_op == CompareOp::kGt || p.cmp_op == CompareOp::kGe) lo = &lit;
+    if (p.cmp_op == CompareOp::kLt || p.cmp_op == CompareOp::kLe) hi = &lit;
+    index->RangeScan(lo, lo_incl, hi, hi_incl,
+                     [&](const Value&, uint32_t row_id) {
+                       st = emit(row_id);
+                       return st.ok();
+                     });
+    HTAPEX_RETURN_IF_ERROR(st);
+  } else {
+    return Status::ExecutionError("unsupported index condition: " +
+                                  p.ToString());
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunColumnScan(const PlanNode& node,
+                                               int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(const ColumnTable* table,
+                          column_store_.GetTable(node.relation));
+  HTAPEX_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          catalog_.GetTable(node.relation));
+  // Ordinals of the columns this scan materializes.
+  std::vector<int> ordinals;
+  for (const auto& name : node.columns_read) {
+    int c = schema->ColumnIndex(name);
+    if (c < 0) return Status::ExecutionError("unknown column: " + name);
+    ordinals.push_back(c);
+  }
+  // Zone-checkable predicates with their column ordinals.
+  std::vector<std::pair<const Expr*, int>> zone_preds;
+  for (const auto& p : node.predicates) {
+    if (IsZoneCheckable(*p)) {
+      zone_preds.emplace_back(p.get(), p->children[0]->bound_column);
+    }
+  }
+
+  Rows out;
+  const size_t seg_rows = ColumnVector::kSegmentRows;
+  size_t num_rows = table->num_rows;
+  for (size_t seg_start = 0; seg_start < num_rows; seg_start += seg_rows) {
+    size_t seg = seg_start / seg_rows;
+    bool skip = false;
+    for (const auto& [p, col] : zone_preds) {
+      if (!SegmentMayMatch(table->columns[static_cast<size_t>(col)], seg, *p)) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    size_t seg_end = std::min(seg_start + seg_rows, num_rows);
+    for (size_t r = seg_start; r < seg_end; ++r) {
+      Row row(static_cast<size_t>(total_slots), Value::Null());
+      for (int c : ordinals) {
+        row[static_cast<size_t>(node.slot_offset + c)] =
+            table->columns[static_cast<size_t>(c)].Get(r);
+      }
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, row));
+      if (pass) out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunFilter(const PlanNode& node,
+                                           int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  Rows out;
+  for (Row& row : in) {
+    HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, row));
+    if (pass) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Copies the slot ranges filled by the subtree rooted at `node` from `src`
+/// into `dst` (used to merge join sides).
+void CollectScanRanges(const PlanNode& node,
+                       std::vector<std::pair<int, int>>* ranges) {
+  if (node.slot_offset >= 0) {
+    ranges->emplace_back(node.slot_offset, node.slot_count);
+  }
+  for (const auto& c : node.children) CollectScanRanges(*c, ranges);
+}
+
+void MergeSlots(const std::vector<std::pair<int, int>>& ranges, const Row& src,
+                Row* dst) {
+  for (const auto& [off, count] : ranges) {
+    for (int i = 0; i < count; ++i) {
+      (*dst)[static_cast<size_t>(off + i)] = src[static_cast<size_t>(off + i)];
+    }
+  }
+}
+
+}  // namespace
+
+Result<Executor::Rows> Executor::RunNestedLoopJoin(const PlanNode& node,
+                                                   int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows outer, Run(*node.children[0], total_slots));
+  HTAPEX_ASSIGN_OR_RETURN(Rows inner, Run(*node.children[1], total_slots));
+  std::vector<std::pair<int, int>> inner_ranges;
+  CollectScanRanges(*node.children[1], &inner_ranges);
+  Rows out;
+  for (const Row& o : outer) {
+    for (const Row& i : inner) {
+      Row merged = o;
+      MergeSlots(inner_ranges, i, &merged);
+      if (node.left_key != nullptr) {
+        HTAPEX_ASSIGN_OR_RETURN(Value lk, EvalExpr(*node.left_key, merged));
+        HTAPEX_ASSIGN_OR_RETURN(Value rk, EvalExpr(*node.right_key, merged));
+        if (lk.is_null() || rk.is_null() || lk.Compare(rk) != 0) continue;
+      }
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+      if (pass) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunIndexNestedLoopJoin(const PlanNode& node,
+                                                        int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows outer, Run(*node.children[0], total_slots));
+  // Locate the index-scan access node (possibly under a Filter).
+  const PlanNode* inner = node.children[1].get();
+  const PlanNode* filter = nullptr;
+  if (inner->op == PlanOp::kFilter) {
+    filter = inner;
+    inner = inner->children[0].get();
+  }
+  if (inner->op != PlanOp::kIndexScan) {
+    return Status::ExecutionError(
+        "index nested loop join requires an IndexScan inner side");
+  }
+  HTAPEX_ASSIGN_OR_RETURN(const TableData* data,
+                          row_store_.GetTable(inner->relation));
+  const BTreeIndex* index = row_store_.GetIndex(inner->index_name);
+  if (index == nullptr) {
+    return Status::ExecutionError("index not built: " + inner->index_name);
+  }
+  if (node.left_key == nullptr || node.right_key == nullptr) {
+    return Status::ExecutionError("index nested loop join requires join keys");
+  }
+  Rows out;
+  for (const Row& o : outer) {
+    HTAPEX_ASSIGN_OR_RETURN(Value key, EvalExpr(*node.left_key, o));
+    if (key.is_null()) continue;
+    for (uint32_t row_id : index->PointLookup(key)) {
+      Row merged = o;
+      const Row& base = data->rows[row_id];
+      for (size_t c = 0; c < base.size(); ++c) {
+        merged[static_cast<size_t>(inner->slot_offset) + c] = base[c];
+      }
+      if (filter != nullptr) {
+        HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(*filter, merged));
+        if (!pass) continue;
+      }
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+      if (pass) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
+                                             int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows probe, Run(*node.children[0], total_slots));
+  HTAPEX_ASSIGN_OR_RETURN(Rows build, Run(*node.children[1], total_slots));
+  std::vector<std::pair<int, int>> build_ranges;
+  CollectScanRanges(*node.children[1], &build_ranges);
+
+  if (node.left_key == nullptr || node.right_key == nullptr) {
+    // Degenerate cross join.
+    Rows out;
+    for (const Row& p : probe) {
+      for (const Row& b : build) {
+        Row merged = p;
+        MergeSlots(build_ranges, b, &merged);
+        HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+        if (pass) out.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  std::unordered_multimap<uint64_t, size_t> table;
+  std::vector<Value> build_keys(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.right_key, build[i]));
+    if (k.is_null()) continue;
+    build_keys[i] = k;
+    table.emplace(k.Hash(), i);
+  }
+  Rows out;
+  for (const Row& p : probe) {
+    HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.left_key, p));
+    if (k.is_null()) continue;
+    auto [lo, hi] = table.equal_range(k.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      if (build_keys[it->second].Compare(k) != 0) continue;
+      Row merged = p;
+      MergeSlots(build_ranges, build[it->second], &merged);
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+      if (pass) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunAggregate(const PlanNode& node,
+                                              int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  // Group rows by key values (ordered map gives deterministic output order).
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      for (size_t i = 0; i < a.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    }
+  };
+  std::map<Row, std::vector<AggState>, RowLess> groups;
+  for (const Row& row : in) {
+    Row key;
+    key.reserve(node.group_keys.size());
+    for (const auto& g : node.group_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), node.aggregates.size());
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      HTAPEX_RETURN_IF_ERROR(
+          AccumulateAgg(*node.aggregates[a], row, &it->second[a]));
+    }
+  }
+  Rows out;
+  if (groups.empty() && node.group_keys.empty()) {
+    // Scalar aggregation over an empty input still yields one row.
+    Row row;
+    std::vector<AggState> empty(node.aggregates.size());
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      row.push_back(FinalizeAgg(*node.aggregates[a], empty[a]));
+    }
+    out.push_back(std::move(row));
+    return out;
+  }
+  for (const auto& [key, states] : groups) {
+    Row row = key;
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      row.push_back(FinalizeAgg(*node.aggregates[a], states[a]));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunSort(const PlanNode& node,
+                                         int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  std::vector<std::pair<Row, Row>> keyed;
+  keyed.reserve(in.size());
+  for (Row& row : in) {
+    Row key;
+    key.reserve(node.sort_keys.size());
+    for (const auto& k : node.sort_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, row));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), std::move(row));
+  }
+  SortKeyLess less{&node.sort_keys, nullptr};
+  std::stable_sort(keyed.begin(), keyed.end(), less);
+  Rows out;
+  out.reserve(keyed.size());
+  for (auto& [key, row] : keyed) out.push_back(std::move(row));
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunTopN(const PlanNode& node,
+                                         int total_slots) const {
+  // Semantically sort + slice; the latency model charges only a bounded
+  // heap.
+  HTAPEX_ASSIGN_OR_RETURN(Rows sorted, RunSort(node, total_slots));
+  size_t start = static_cast<size_t>(std::max<int64_t>(node.offset, 0));
+  size_t count = node.limit < 0 ? sorted.size() : static_cast<size_t>(node.limit);
+  Rows out;
+  for (size_t i = start; i < sorted.size() && out.size() < count; ++i) {
+    out.push_back(std::move(sorted[i]));
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunLimit(const PlanNode& node,
+                                          int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  size_t start = static_cast<size_t>(std::max<int64_t>(node.offset, 0));
+  size_t count = node.limit < 0 ? in.size() : static_cast<size_t>(node.limit);
+  Rows out;
+  for (size_t i = start; i < in.size() && out.size() < count; ++i) {
+    out.push_back(std::move(in[i]));
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::RunProject(const PlanNode& node,
+                                            int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  Rows out;
+  out.reserve(in.size());
+  for (const Row& row : in) {
+    Row projected;
+    projected.reserve(node.projections.size());
+    for (const auto& p : node.projections) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
+      projected.push_back(std::move(v));
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<Executor::Rows> Executor::Run(const PlanNode& node,
+                                     int total_slots) const {
+  Result<Rows> rows = RunDispatch(node, total_slots);
+  if (rows.ok() && stats_ != nullptr) {
+    stats_->actual_rows[&node] = rows.value().size();
+  }
+  return rows;
+}
+
+Result<Executor::Rows> Executor::RunDispatch(const PlanNode& node,
+                                             int total_slots) const {
+  switch (node.op) {
+    case PlanOp::kTableScan:
+      return RunTableScan(node, total_slots);
+    case PlanOp::kIndexScan:
+      return RunIndexScan(node, total_slots);
+    case PlanOp::kColumnScan:
+      return RunColumnScan(node, total_slots);
+    case PlanOp::kFilter:
+      return RunFilter(node, total_slots);
+    case PlanOp::kNestedLoopJoin:
+      return RunNestedLoopJoin(node, total_slots);
+    case PlanOp::kIndexNestedLoopJoin:
+      return RunIndexNestedLoopJoin(node, total_slots);
+    case PlanOp::kHashJoin:
+      return RunHashJoin(node, total_slots);
+    case PlanOp::kGroupAggregate:
+    case PlanOp::kHashAggregate:
+      return RunAggregate(node, total_slots);
+    case PlanOp::kSort:
+      return RunSort(node, total_slots);
+    case PlanOp::kTopN:
+      return RunTopN(node, total_slots);
+    case PlanOp::kLimit:
+      return RunLimit(node, total_slots);
+    case PlanOp::kProject:
+      return RunProject(node, total_slots);
+    case PlanOp::kExchange:
+      return Run(*node.children[0], total_slots);
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<QueryResultSet> Executor::Execute(const PhysicalPlan& plan,
+                                         std::vector<std::string> output_names,
+                                         ExecStats* stats) const {
+  stats_ = stats;
+  Result<Rows> rows = Run(*plan.root, plan.total_slots);
+  stats_ = nullptr;
+  if (!rows.ok()) return rows.status();
+  QueryResultSet result;
+  result.column_names = std::move(output_names);
+  result.rows = std::move(*rows);
+  return result;
+}
+
+}  // namespace htapex

@@ -1,0 +1,112 @@
+#ifndef HTAPEX_ENGINE_HTAP_SYSTEM_H_
+#define HTAPEX_ENGINE_HTAP_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ap/ap_optimizer.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/executor.h"
+#include "engine/latency_model.h"
+#include "storage/column_store.h"
+#include "storage/row_store.h"
+#include "tp/tp_optimizer.h"
+
+namespace htapex {
+
+/// Configuration of the in-process HTAP system.
+struct HtapConfig {
+  /// Scale factor the optimizers and the latency model reason about
+  /// (TPC-H SF=100 is the paper's 100 GB setting).
+  double stats_scale_factor = 100.0;
+  /// Scale factor of the physically generated/loaded data (small, so both
+  /// engines really execute queries and can be cross-checked). <= 0
+  /// disables data loading (plan-only mode).
+  double data_scale_factor = 0.01;
+  uint64_t datagen_seed = 20260705;
+  LatencyParams latency;
+  TpCostParams tp_cost;
+  ApCostParams ap_cost;
+};
+
+/// Outcome of running one query through both engines.
+struct HtapQueryOutcome {
+  std::string sql;
+  PlanPair plans;
+  double tp_latency_ms = 0.0;  // modelled at stats scale
+  double ap_latency_ms = 0.0;
+  EngineKind faster = EngineKind::kTp;
+  /// Real execution results at the data scale factor (absent in plan-only
+  /// mode). Both engines' results are cross-checked for equality.
+  std::optional<QueryResultSet> tp_result;
+  std::optional<QueryResultSet> ap_result;
+  bool results_match = true;
+  std::vector<std::string> output_names;
+
+  double speedup() const {
+    double lo = std::min(tp_latency_ms, ap_latency_ms);
+    return lo <= 0 ? 1.0 : std::max(tp_latency_ms, ap_latency_ms) / lo;
+  }
+};
+
+/// The ByteHTAP-like substrate: one SQL front end, a shared catalog, a
+/// row-store TP engine and a column-store AP engine with *separate*
+/// optimizers and non-comparable cost models, plus an analytic latency
+/// model that provides execution times at the statistics scale.
+class HtapSystem {
+ public:
+  HtapSystem() = default;
+
+  HtapSystem(const HtapSystem&) = delete;
+  HtapSystem& operator=(const HtapSystem&) = delete;
+
+  /// Builds the TPC-H catalog and (unless plan-only) generates and loads
+  /// data into both storage engines.
+  Status Init(const HtapConfig& config);
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& mutable_catalog() { return catalog_; }
+  const HtapConfig& config() const { return config_; }
+  bool data_loaded() const { return data_loaded_; }
+
+  /// Creates a secondary index (catalog + physical build in the row store),
+  /// e.g. the paper's user-added index on customer.c_phone.
+  Status CreateIndex(const IndexDef& def);
+  Status DropIndex(const std::string& name);
+
+  Result<BoundQuery> Bind(std::string_view sql) const;
+
+  /// Plans the query on both engines.
+  Result<PlanPair> PlanBoth(const BoundQuery& query) const;
+
+  /// Modelled latency of a plan at the statistics scale factor.
+  double LatencyMs(const PhysicalPlan& plan,
+                   std::vector<NodeLatency>* breakdown = nullptr) const;
+
+  /// Executes a plan against the loaded data; optional EXPLAIN ANALYZE
+  /// style per-node actual cardinalities.
+  Result<QueryResultSet> Execute(const PhysicalPlan& plan,
+                                 const BoundQuery& query,
+                                 ExecStats* stats = nullptr) const;
+
+  /// Full pipeline: bind, plan both, model latencies, execute both (when
+  /// data is loaded) and cross-check results.
+  Result<HtapQueryOutcome> RunQuery(std::string_view sql) const;
+
+ private:
+  HtapConfig config_;
+  Catalog catalog_;
+  RowStore row_store_;
+  ColumnStore column_store_;
+  std::unique_ptr<TpOptimizer> tp_optimizer_;
+  std::unique_ptr<ApOptimizer> ap_optimizer_;
+  std::unique_ptr<Executor> executor_;
+  bool data_loaded_ = false;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ENGINE_HTAP_SYSTEM_H_

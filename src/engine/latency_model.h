@@ -1,0 +1,55 @@
+#ifndef HTAPEX_ENGINE_LATENCY_MODEL_H_
+#define HTAPEX_ENGINE_LATENCY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+
+namespace htapex {
+
+/// Parameters of the analytic latency model: per-operation times in
+/// microseconds, calibrated so the paper's cluster-scale behaviour holds at
+/// the statistics scale factor (TPC-H SF=100): Example 1 runs ~5.8 s on TP
+/// and ~0.3 s on AP, while selective point lookups win on TP.
+struct LatencyParams {
+  // TP engine (single-node row store, B+-tree indexes).
+  double tp_seq_row_us = 0.35;       // sequential row read
+  double tp_filter_row_us = 0.05;    // predicate evaluation per row
+  double tp_index_level_us = 1.2;    // one B+-tree level during a probe
+  double tp_index_fetch_us = 4.3;    // fetch one row via index (random access)
+  double tp_sort_row_us = 0.15;      // per row*log2(rows)
+  double tp_agg_row_us = 0.08;       // aggregate one row
+  double tp_output_row_us = 0.02;    // emit one row
+  double tp_hash_build_row_us = 0.25;  // counterfactual TP hash join
+  double tp_hash_probe_row_us = 0.10;
+  double tp_startup_ms = 0.2;        // session/plan dispatch
+
+  // AP engine (distributed column store, vectorized).
+  double ap_value_us = 0.006;        // scan one column value (per core)
+  double ap_hash_build_row_us = 0.05;
+  double ap_hash_probe_row_us = 0.01;
+  double ap_agg_row_us = 0.02;
+  double ap_sort_row_us = 0.05;      // per row*log2(rows)
+  double ap_topn_row_us = 0.01;      // per row*log2(k)
+  double ap_output_row_us = 0.01;
+  double ap_parallelism = 8.0;       // data servers x cores
+  double ap_startup_ms = 40.0;       // distributed dispatch + fan-in
+};
+
+/// Per-node latency attribution, used by the expert analyzer to find the
+/// dominant cost contributor.
+struct NodeLatency {
+  const PlanNode* node = nullptr;
+  double millis = 0.0;       // inclusive of children
+  double self_millis = 0.0;  // this operator only
+};
+
+/// Estimated end-to-end latency of `plan` at the statistics scale factor.
+/// `breakdown` (optional) receives one entry per node, pre-order.
+double EstimateLatencyMs(const PhysicalPlan& plan, const LatencyParams& params,
+                         std::vector<NodeLatency>* breakdown = nullptr);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ENGINE_LATENCY_MODEL_H_

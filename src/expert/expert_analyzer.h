@@ -1,0 +1,54 @@
+#ifndef HTAPEX_EXPERT_EXPERT_ANALYZER_H_
+#define HTAPEX_EXPERT_EXPERT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/htap_system.h"
+#include "expert/factors.h"
+
+namespace htapex {
+
+/// A database expert's ground-truth analysis of one plan pair: which engine
+/// won, the primary root cause, supporting secondary factors, and the
+/// curated explanation text that goes into the knowledge base (Table III's
+/// "Explanation by experts" row).
+struct ExpertAnalysis {
+  EngineKind faster = EngineKind::kTp;
+  PerfFactor primary = PerfFactor::kColumnarScanWidth;
+  std::vector<PerfFactor> secondary;
+  std::string explanation;
+
+  /// Primary + secondary.
+  std::vector<PerfFactor> all() const {
+    std::vector<PerfFactor> out = {primary};
+    out.insert(out.end(), secondary.begin(), secondary.end());
+    return out;
+  }
+};
+
+/// Rule-based stand-in for the paper's human experts: derives the
+/// performance factors from the plan pair, the modelled per-node latency
+/// attribution, and the bound query's predicate analysis. Deterministic and
+/// engine-aware — this is the oracle the simulated LLM is graded against
+/// and the source of knowledge-base explanations.
+class ExpertAnalyzer {
+ public:
+  ExpertAnalyzer(const Catalog& catalog, const LatencyParams& latency)
+      : catalog_(catalog), latency_(latency) {}
+
+  ExpertAnalysis Analyze(const HtapQueryOutcome& outcome,
+                         const BoundQuery& query) const;
+
+ private:
+  const Catalog& catalog_;
+  const LatencyParams& latency_;
+};
+
+/// Renders an ExpertAnalysis as curated explanation text embedding the
+/// canonical factor phrases (so factors are recoverable from the text).
+std::string RenderExpertExplanation(const ExpertAnalysis& analysis);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_EXPERT_EXPERT_ANALYZER_H_

@@ -1,0 +1,101 @@
+#include "expert/grader.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+const char* ExplanationGradeName(ExplanationGrade g) {
+  switch (g) {
+    case ExplanationGrade::kAccurate:
+      return "accurate";
+    case ExplanationGrade::kImprecise:
+      return "imprecise";
+    case ExplanationGrade::kWrong:
+      return "wrong";
+    case ExplanationGrade::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+ExplanationClaims ClaimsFromText(const std::string& text) {
+  ExplanationClaims claims;
+  std::string trimmed(Trim(text));
+  if (trimmed.empty() || EqualsIgnoreCase(trimmed, "none") ||
+      EqualsIgnoreCase(trimmed, "none.")) {
+    claims.is_none = true;
+    return claims;
+  }
+  // Winner: the first "<engine> is faster" statement.
+  size_t tp_pos = std::string::npos, ap_pos = std::string::npos;
+  for (size_t i = 0; i + 12 <= text.size(); ++i) {
+    if (EqualsIgnoreCase(std::string_view(text).substr(i, 12),
+                         "tp is faster") &&
+        tp_pos == std::string::npos) {
+      tp_pos = i;
+    }
+    if (EqualsIgnoreCase(std::string_view(text).substr(i, 12),
+                         "ap is faster") &&
+        ap_pos == std::string::npos) {
+      ap_pos = i;
+    }
+  }
+  claims.claimed_faster =
+      ap_pos < tp_pos ? EngineKind::kAp : EngineKind::kTp;
+  if (tp_pos == std::string::npos && ap_pos != std::string::npos) {
+    claims.claimed_faster = EngineKind::kAp;
+  }
+  claims.factors = ExtractFactorsFromText(text);
+  claims.compared_costs =
+      ContainsIgnoreCase(text, "cost estimate") &&
+      (ContainsIgnoreCase(text, "lower cost") ||
+       ContainsIgnoreCase(text, "higher cost") ||
+       ContainsIgnoreCase(text, "comparing the cost"));
+  return claims;
+}
+
+GradeResult ExpertGrader::Grade(const ExpertAnalysis& truth,
+                                const ExplanationClaims& claims) const {
+  GradeResult result;
+  if (claims.is_none) {
+    result.grade = ExplanationGrade::kNone;
+    result.reason = "model returned None";
+    return result;
+  }
+  if (claims.claimed_faster != truth.faster) {
+    result.grade = ExplanationGrade::kWrong;
+    result.reason = "wrong winner claimed";
+    return result;
+  }
+  if (claims.compared_costs) {
+    result.grade = ExplanationGrade::kImprecise;
+    result.reason = "compared non-comparable cost estimates";
+    return result;
+  }
+  std::vector<PerfFactor> truth_factors = truth.all();
+  bool has_primary =
+      std::find(claims.factors.begin(), claims.factors.end(), truth.primary) !=
+      claims.factors.end();
+  if (!has_primary) {
+    result.grade = ExplanationGrade::kImprecise;
+    result.reason = std::string("missed primary factor: ") +
+                    PerfFactorId(truth.primary);
+    return result;
+  }
+  for (PerfFactor f : claims.factors) {
+    if (std::find(truth_factors.begin(), truth_factors.end(), f) ==
+        truth_factors.end()) {
+      result.grade = ExplanationGrade::kImprecise;
+      result.reason = std::string("claimed inapplicable factor: ") +
+                      PerfFactorId(f);
+      return result;
+    }
+  }
+  result.grade = ExplanationGrade::kAccurate;
+  result.reason = "primary factor identified, no spurious claims";
+  return result;
+}
+
+}  // namespace htapex

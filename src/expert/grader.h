@@ -1,0 +1,49 @@
+#ifndef HTAPEX_EXPERT_GRADER_H_
+#define HTAPEX_EXPERT_GRADER_H_
+
+#include <string>
+#include <vector>
+
+#include "expert/expert_analyzer.h"
+#include "expert/factors.h"
+
+namespace htapex {
+
+/// The structured claims a generated explanation makes. The simulated LLM
+/// emits these alongside its text; they are also recoverable from the text
+/// via the canonical factor phrases (ClaimsFromText), mirroring how human
+/// graders read an explanation.
+struct ExplanationClaims {
+  bool is_none = false;          // the "None" response the prompt allows
+  EngineKind claimed_faster = EngineKind::kTp;
+  std::vector<PerfFactor> factors;
+  bool compared_costs = false;   // leaked the forbidden cost comparison
+};
+
+/// Recovers claims from explanation text: winner from "TP/AP is faster",
+/// factors from canonical phrases, cost comparison from telltale wording.
+ExplanationClaims ClaimsFromText(const std::string& text);
+
+/// Grades in the paper's Section VI-B categories: accurate, imprecise
+/// (right winner but wrong/incomplete root cause, invented factors, or a
+/// forbidden cost comparison), wrong (wrong winner), or None output.
+enum class ExplanationGrade { kAccurate, kImprecise, kWrong, kNone };
+
+const char* ExplanationGradeName(ExplanationGrade g);
+
+struct GradeResult {
+  ExplanationGrade grade = ExplanationGrade::kNone;
+  std::string reason;
+};
+
+/// Stand-in for the paper's three human experts: deterministic comparison
+/// of a generated explanation's claims against the ground-truth analysis.
+class ExpertGrader {
+ public:
+  GradeResult Grade(const ExpertAnalysis& truth,
+                    const ExplanationClaims& claims) const;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_EXPERT_GRADER_H_

@@ -1,0 +1,73 @@
+#ifndef HTAPEX_LLM_LLM_H_
+#define HTAPEX_LLM_LLM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expert/grader.h"
+#include "llm/prompt.h"
+
+namespace htapex {
+
+/// Simulated model timing: real hosted LLMs dominate the paper's
+/// end-to-end latency (thinking <= 2 s, generation ~10 s); we model those
+/// times instead of sleeping, and benches report them on a simulated clock.
+struct LlmTiming {
+  double thinking_ms = 0.0;
+  double generation_ms = 0.0;
+  int prompt_tokens = 0;
+  int output_tokens = 0;
+
+  double total_ms() const { return thinking_ms + generation_ms; }
+};
+
+/// A generated explanation: the natural-language text plus the structured
+/// claims the text encodes (recoverable from the text itself via the
+/// canonical factor phrases — see expert/grader.h).
+struct GeneratedExplanation {
+  ExplanationClaims claims;
+  std::string text;
+  LlmTiming timing;
+};
+
+/// Persona of a simulated pre-trained model. The paper evaluates Doubao and
+/// ChatGPT 4.0 and finds minimal accuracy difference; personas differ in
+/// phrasing style and token rate, not in reasoning quality.
+struct LlmPersona {
+  std::string name = "doubao-sim";
+  int tokens_per_second = 18;   // generation speed
+  double thinking_token_ms = 0.35;  // per prompt token, capped at 2 s
+  uint64_t style_seed = 0;      // phrasing variation
+};
+
+LlmPersona DoubaoPersona();
+LlmPersona Gpt4Persona();
+
+/// Interface of a simulated LLM: consumes a rendered prompt (structured as
+/// a Prompt for convenience; everything it uses is present in the rendered
+/// text) and produces an explanation.
+class SimulatedLlm {
+ public:
+  virtual ~SimulatedLlm() = default;
+  virtual GeneratedExplanation Explain(const Prompt& prompt) const = 0;
+  virtual const LlmPersona& persona() const = 0;
+};
+
+/// The RAG-following persona of our approach: reads the question's plans,
+/// compares their performance signature against each retrieved knowledge
+/// item, adopts the best-matching expert explanation's factors (filtered
+/// for applicability), and returns None when no knowledge matches — exactly
+/// the behaviour the Table I task description asks for.
+std::unique_ptr<SimulatedLlm> MakeRagLlm(LlmPersona persona);
+
+/// The DBG-PT-style baseline: same plan-reading ability but no knowledge
+/// grounding; exhibits the paper's four failure modes (Section VI-D):
+/// misread index usage under functions, over-emphasis of columnar storage,
+/// leaked cost comparisons, and no context for relative LIMIT/OFFSET sizes.
+std::unique_ptr<SimulatedLlm> MakeDbgPtLlm(LlmPersona persona);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_LLM_LLM_H_

@@ -1,0 +1,108 @@
+#include "llm/prompt.h"
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+int ApproxTokenCount(const std::string& text) {
+  // ~4/3 tokens per whitespace-separated word, floor 1.
+  int words = 0;
+  bool in_word = false;
+  for (char c : text) {
+    bool space = c == ' ' || c == '\n' || c == '\t';
+    if (!space && !in_word) ++words;
+    in_word = !space;
+  }
+  return std::max(1, words * 4 / 3);
+}
+
+std::string Prompt::Render() const {
+  std::string out;
+  out += "Background information: " + background + "\n\n";
+  out += "Task description: " + task + "\n\n";
+  if (!user_context.empty()) {
+    out += "Additional user context: " + user_context + "\n\n";
+  }
+  for (size_t i = 0; i < knowledge.size(); ++i) {
+    const KnowledgeItem& k = knowledge[i];
+    out += StrFormat("KNOWLEDGE %zu:\n", i + 1);
+    out += "historical query: " + k.sql + "\n";
+    out += "historical TP plan: " + k.tp_plan_json + "\n";
+    out += "historical AP plan: " + k.ap_plan_json + "\n";
+    out += StrFormat("historical execution result: %s is faster\n",
+                     EngineName(k.faster));
+    out += "historical expert explanation: " + k.expert_explanation + "\n\n";
+  }
+  out += "QUESTION:\n";
+  out += "new query: " + question_sql + "\n";
+  out += "new TP plan: " + question_tp_plan_json + "\n";
+  out += "new AP plan: " + question_ap_plan_json + "\n";
+  out += StrFormat("new execution result: %s is faster\n",
+                   EngineName(question_result));
+  return out;
+}
+
+int Prompt::ApproxTokens() const { return ApproxTokenCount(Render()); }
+
+PromptBuilder::PromptBuilder() {
+  // Table I, "Background information".
+  background_ =
+      "We are using RAG to assist database users in understanding query "
+      "performance across differences engines in our HTAP system—"
+      "specifically, why one engine performs faster while the other is "
+      "slower. Please ensure you are familiar with the TPC-H schema, and "
+      "our dataset follows the default schema and contains 100GB of data. "
+      "Our HTAP system has two database engines, \"TP\" and \"AP\". The TP "
+      "engine uses row-oriented storage, while the AP engine utilizes "
+      "column-oriented storage. Note that the optimizers for TP and AP "
+      "engines are distinct, leading to different execution plans. "
+      "Therefore, you are not allowed to compare the cost estimates of the "
+      "execution plans from TP and AP engines.";
+  // Table I, "Task description".
+  task_ =
+      "Here is your task: I will input you the execution plans for the "
+      "query from both the TP and AP engines, please evaluate the likely "
+      "performance of each engine without directly comparing the cost "
+      "estimates. Focus on factors such as the join methods used, the "
+      "storage formats (row-oriented vs. column-oriented), index "
+      "utilization, and any potential implications of the execution plan "
+      "characteristics on query performance. Your task is to explain which "
+      "engine might perform better for this specific query and why, based "
+      "on these factors. To assist you, we have a retriever that can find "
+      "relevant historical plans from the knowledge base with precise "
+      "performance explanation from our experts. The KNOWLEDGE and "
+      "QUESTIONS you received will be in the following format: KNOWLEDGE: "
+      "historical query + historical plan pair (AP/TP's plan) + historical "
+      "execution result (indicating whether TP or AP is faster) + "
+      "historical expert explanation (why TP or AP is faster). QUESTION: "
+      "new query + new plan pair + new execution result. You could use "
+      "KNOWLEDGE to explain the following new pair of plans in QUESTION. "
+      "If the KNOWLEDGE does not contain the facts to answer the QUESTION "
+      "return None. Note, to make sure your answer is accurate, I may "
+      "input you several retrieved old queries with their plans, results "
+      "and explanations. Please understand all the information I provide "
+      "to generate your explanation. Now, I am ready to send you the "
+      "KNOWLEDGE and QUESTION.";
+  // Table I, "Additional user context" (default).
+  user_context_ =
+      "Beyond the default indexes on primary and foreign keys, an "
+      "additional index has been created on the c_phone column in the "
+      "customer table.";
+}
+
+Prompt PromptBuilder::Build(std::vector<KnowledgeItem> knowledge,
+                            std::string question_sql, std::string tp_plan_json,
+                            std::string ap_plan_json, EngineKind result) const {
+  Prompt p;
+  p.background = background_;
+  p.task = task_;
+  p.user_context = user_context_;
+  p.knowledge = std::move(knowledge);
+  p.question_sql = std::move(question_sql);
+  p.question_tp_plan_json = std::move(tp_plan_json);
+  p.question_ap_plan_json = std::move(ap_plan_json);
+  p.question_result = result;
+  return p;
+}
+
+}  // namespace htapex

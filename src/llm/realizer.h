@@ -1,0 +1,29 @@
+#ifndef HTAPEX_LLM_REALIZER_H_
+#define HTAPEX_LLM_REALIZER_H_
+
+#include <string>
+
+#include "expert/grader.h"
+#include "llm/llm.h"
+#include "llm/plan_reader.h"
+
+namespace htapex {
+
+/// Renders structured claims as a fluent multi-sentence explanation in the
+/// style of the paper's Table III outputs. The canonical factor phrases are
+/// embedded verbatim so claims stay recoverable from the text; surrounding
+/// prose varies deterministically with the persona's style seed and the
+/// query content. `surface` supplies concrete details (relations, widths)
+/// the text weaves in.
+std::string RealizeExplanation(const ExplanationClaims& claims,
+                               const PairSurface& surface,
+                               const LlmPersona& persona,
+                               const std::string& question_sql);
+
+/// Fills a timing record for generating `text` from `prompt`.
+LlmTiming ComputeTiming(const Prompt& prompt, const std::string& text,
+                        const LlmPersona& persona);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_LLM_REALIZER_H_

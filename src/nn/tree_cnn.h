@@ -1,0 +1,129 @@
+#ifndef HTAPEX_NN_TREE_CNN_H_
+#define HTAPEX_NN_TREE_CNN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htapex {
+
+/// Featurized plan tree: N nodes in pre-order, row-major feature matrix,
+/// and binarized child links (-1 = absent).
+struct PlanTreeFeatures {
+  int num_nodes = 0;
+  int feature_dim = 0;
+  std::vector<double> x;  // num_nodes * feature_dim
+  std::vector<int> left;
+  std::vector<int> right;
+
+  double at(int node, int f) const {
+    return x[static_cast<size_t>(node * feature_dim + f)];
+  }
+};
+
+/// One training example: a TP/AP plan pair labelled with the faster engine.
+struct PairExample {
+  PlanTreeFeatures tp;
+  PlanTreeFeatures ap;
+  int label = 0;  // 0 = TP faster, 1 = AP faster
+};
+
+/// A tree-convolutional neural network over plan *pairs*, in the style of
+/// Bao's tree-CNN [Marcus et al., SIGMOD'21], built from scratch:
+///
+///   per plan:  x --treeconv(F->C1)--> ReLU --treeconv(C1->C2)--> ReLU
+///              --dynamic max pool--> dense(C2->E) --> ReLU --> e
+///   pair:      z = [e_tp ; e_ap]  (the plan-pair embedding, 2E dims)
+///              logits = z * W_o + b_o  (2-way: which engine is faster)
+///
+/// Tree convolution combines each node with its (binarized) children using
+/// separate self/left/right weight matrices. The plan encoder is shared
+/// between the TP and AP trees. The penultimate activation `z` is the
+/// 16-dim plan-pair encoding the paper stores in its knowledge base
+/// (E = 8 per plan by default).
+///
+/// Training: softmax cross-entropy, full backpropagation (including through
+/// the tree convolutions and the max pool), Adam updates.
+class TreeCnn {
+ public:
+  struct Config {
+    int feature_dim = 20;
+    int conv1 = 32;
+    int conv2 = 32;
+    int embed = 8;  // per-plan embedding; pair embedding is 2x this
+    uint64_t seed = 1;
+  };
+
+  explicit TreeCnn(const Config& config);
+
+  /// Dimensions of the pair embedding (2 * embed).
+  int pair_embedding_dim() const { return 2 * config_.embed; }
+
+  /// Inference: softmax probability that AP is faster; optionally returns
+  /// the pair embedding.
+  double PredictApFaster(const PlanTreeFeatures& tp,
+                         const PlanTreeFeatures& ap,
+                         std::vector<double>* pair_embedding = nullptr) const;
+
+  /// One Adam step over a minibatch; returns the mean cross-entropy loss.
+  double TrainBatch(const std::vector<const PairExample*>& batch,
+                    double learning_rate);
+
+  /// Serialized model size in bytes (what the paper quotes as < 1 MB).
+  size_t ByteSize() const;
+  size_t NumParameters() const;
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  struct Tensor {
+    std::vector<double> v;  // parameters
+    std::vector<double> g;  // gradient accumulator
+    std::vector<double> m;  // Adam first moment
+    std::vector<double> s;  // Adam second moment
+    void Resize(size_t n) {
+      v.assign(n, 0);
+      g.assign(n, 0);
+      m.assign(n, 0);
+      s.assign(n, 0);
+    }
+  };
+
+  struct PlanActivations {
+    std::vector<double> h1;      // N x C1 (post-ReLU)
+    std::vector<double> h2;      // N x C2 (post-ReLU)
+    std::vector<int> pool_argmax;  // C2
+    std::vector<double> pooled;    // C2
+    std::vector<double> embed;     // E (post-ReLU)
+  };
+
+  void ForwardPlan(const PlanTreeFeatures& plan, PlanActivations* acts) const;
+  /// Backprop from d(embed) into parameter gradients.
+  void BackwardPlan(const PlanTreeFeatures& plan, const PlanActivations& acts,
+                    const std::vector<double>& d_embed);
+
+  void ZeroGrad();
+  void AdamStep(double lr);
+
+  std::vector<Tensor*> AllTensors();
+  std::vector<const Tensor*> AllTensors() const;
+
+  Config config_;
+  // Tree conv layer 1 (F -> C1): self / left / right weights + bias.
+  Tensor ws1_, wl1_, wr1_, b1_;
+  // Tree conv layer 2 (C1 -> C2).
+  Tensor ws2_, wl2_, wr2_, b2_;
+  // Dense plan embedding (C2 -> E).
+  Tensor we_, be_;
+  // Output (2E -> 2).
+  Tensor wo_, bo_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_NN_TREE_CNN_H_

@@ -1,0 +1,150 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htapex {
+
+namespace {
+
+double ClampSel(double s) {
+  if (s < 1e-9) return 1e-9;
+  if (s > 1.0) return 1.0;
+  return s;
+}
+
+/// Fraction of the [min,max] numeric span selected by a range bound.
+double RangeFraction(const ColumnStats& stats, const Value& bound,
+                     bool select_below) {
+  if (stats.min.is_null() || stats.max.is_null()) return 0.33;
+  if (!bound.is_int() && !bound.is_double()) return 0.33;
+  double lo = stats.min.AsDouble();
+  double hi = stats.max.AsDouble();
+  if (hi <= lo) return 0.5;
+  double b = bound.AsDouble();
+  double frac = (b - lo) / (hi - lo);
+  frac = std::clamp(frac, 0.0, 1.0);
+  return select_below ? frac : 1.0 - frac;
+}
+
+}  // namespace
+
+const ColumnStats* CardinalityEstimator::StatsFor(const BoundQuery& query,
+                                                  const Expr& ref) const {
+  if (ref.bound_table < 0 || ref.bound_column < 0) return nullptr;
+  const BoundTable& bt = query.table(ref.bound_table);
+  auto stats = catalog_.GetStats(bt.ref.table);
+  if (!stats.ok()) return nullptr;
+  if (static_cast<size_t>(ref.bound_column) >= (*stats)->columns.size()) {
+    return nullptr;
+  }
+  return &(*stats)->columns[static_cast<size_t>(ref.bound_column)];
+}
+
+double CardinalityEstimator::ColumnNdv(const BoundQuery& query,
+                                       const Expr& ref) const {
+  const ColumnStats* s = StatsFor(query, ref);
+  return s == nullptr ? 1.0 : static_cast<double>(std::max<int64_t>(s->ndv, 1));
+}
+
+double CardinalityEstimator::ConjunctSelectivity(
+    const BoundQuery& query, const ConjunctInfo& conjunct) const {
+  if (conjunct.tables.size() != 1) return 1.0;
+  const Expr& e = *conjunct.expr;
+
+  if (conjunct.function_over_column) {
+    // E.g. SUBSTRING(c_phone,1,2) IN ('20',...): per-column stats cannot
+    // see through the function. IN lists scale the guess by list size.
+    if (e.kind == ExprKind::kIn) {
+      double per_item = kFunctionPredicateSelectivity / 2.0;
+      return ClampSel(per_item * static_cast<double>(e.children.size() - 1));
+    }
+    return kFunctionPredicateSelectivity;
+  }
+
+  if (conjunct.sargable) {
+    const ColumnStats* stats = StatsFor(query, *conjunct.sarg_column);
+    double ndv = stats == nullptr
+                     ? 100.0
+                     : static_cast<double>(std::max<int64_t>(stats->ndv, 1));
+    switch (e.kind) {
+      case ExprKind::kComparison: {
+        const Value& lit = e.children[1]->literal;
+        switch (e.cmp_op) {
+          case CompareOp::kEq:
+            return ClampSel(1.0 / ndv);
+          case CompareOp::kNe:
+            return ClampSel(1.0 - 1.0 / ndv);
+          case CompareOp::kLt:
+          case CompareOp::kLe:
+            return stats == nullptr ? kDefaultSelectivity
+                                    : ClampSel(RangeFraction(*stats, lit, true));
+          case CompareOp::kGt:
+          case CompareOp::kGe:
+            return stats == nullptr
+                       ? kDefaultSelectivity
+                       : ClampSel(RangeFraction(*stats, lit, false));
+          case CompareOp::kLike:
+            return kLikeSelectivity;
+        }
+        return kDefaultSelectivity;
+      }
+      case ExprKind::kIn:
+        return ClampSel(static_cast<double>(e.children.size() - 1) / ndv);
+      case ExprKind::kBetween: {
+        if (stats == nullptr) return kDefaultSelectivity;
+        double below_hi = RangeFraction(*stats, e.children[2]->literal, true);
+        double below_lo = RangeFraction(*stats, e.children[1]->literal, true);
+        return ClampSel(below_hi - below_lo);
+      }
+      default:
+        return kDefaultSelectivity;
+    }
+  }
+
+  if (e.kind == ExprKind::kComparison && e.cmp_op == CompareOp::kLike) {
+    return kLikeSelectivity;
+  }
+  if (e.kind == ExprKind::kIsNull &&
+      e.children[0]->kind == ExprKind::kColumnRef) {
+    const ColumnStats* stats = StatsFor(query, *e.children[0]);
+    double null_frac = stats == nullptr ? 0.01 : stats->null_fraction;
+    return ClampSel(e.negated ? 1.0 - null_frac : null_frac);
+  }
+  if (e.kind == ExprKind::kNot) return ClampSel(1.0 - kDefaultSelectivity);
+  if (e.kind == ExprKind::kOr) return ClampSel(2.0 * kDefaultSelectivity);
+  return kDefaultSelectivity;
+}
+
+double CardinalityEstimator::BaseTableRows(const BoundQuery& query,
+                                           int table_idx) const {
+  const BoundTable& bt = query.table(table_idx);
+  int64_t rows = catalog_.RowCount(bt.ref.table);
+  return rows <= 0 ? 1.0 : static_cast<double>(rows);
+}
+
+double CardinalityEstimator::FilteredTableRows(const BoundQuery& query,
+                                               int table_idx) const {
+  double rows = BaseTableRows(query, table_idx);
+  for (const auto& c : query.conjuncts) {
+    if (c.tables.size() == 1 && c.tables[0] == table_idx) {
+      rows *= ConjunctSelectivity(query, c);
+    }
+  }
+  return std::max(rows, 1.0);
+}
+
+double CardinalityEstimator::JoinOutputRows(const BoundQuery& query,
+                                            const ConjunctInfo& join,
+                                            double left_rows,
+                                            double right_rows) const {
+  if (!join.is_equi_join || join.left_column == nullptr ||
+      join.right_column == nullptr) {
+    return left_rows * right_rows;  // cross product fallback
+  }
+  double ndv = std::max(ColumnNdv(query, *join.left_column),
+                        ColumnNdv(query, *join.right_column));
+  return std::max(left_rows * right_rows / std::max(ndv, 1.0), 1.0);
+}
+
+}  // namespace htapex

@@ -1,0 +1,49 @@
+#ifndef HTAPEX_PLAN_CARDINALITY_H_
+#define HTAPEX_PLAN_CARDINALITY_H_
+
+#include "catalog/catalog.h"
+#include "sql/binder.h"
+
+namespace htapex {
+
+/// Cardinality estimation shared by both optimizers (they share statistics,
+/// differing only in cost formulas — which is why their cost *units* are
+/// not comparable even though row estimates agree).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Selectivity in (0, 1] of one conjunct against its single table.
+  /// Multi-table conjuncts return 1.0 (handled as join predicates).
+  double ConjunctSelectivity(const BoundQuery& query,
+                             const ConjunctInfo& conjunct) const;
+
+  /// Estimated rows surviving all single-table conjuncts on `table_idx`.
+  double FilteredTableRows(const BoundQuery& query, int table_idx) const;
+
+  /// Base row count of the bound table at the statistics scale.
+  double BaseTableRows(const BoundQuery& query, int table_idx) const;
+
+  /// Equi-join output estimate: |L|*|R| / max(ndv(lkey), ndv(rkey)).
+  double JoinOutputRows(const BoundQuery& query, const ConjunctInfo& join,
+                        double left_rows, double right_rows) const;
+
+  /// Distinct-value estimate of a bound column ref (1 when unknown).
+  double ColumnNdv(const BoundQuery& query, const Expr& column_ref) const;
+
+  /// Default selectivity used when a predicate wraps columns in functions
+  /// (not analyzable from per-column statistics).
+  static constexpr double kFunctionPredicateSelectivity = 0.10;
+  static constexpr double kLikeSelectivity = 0.05;
+  static constexpr double kDefaultSelectivity = 0.33;
+
+ private:
+  const ColumnStats* StatsFor(const BoundQuery& query,
+                              const Expr& column_ref) const;
+
+  const Catalog& catalog_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_PLAN_CARDINALITY_H_

@@ -1,0 +1,127 @@
+#include "plan/plan_node.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+const char* EngineName(EngineKind e) {
+  return e == EngineKind::kTp ? "TP" : "AP";
+}
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kTableScan:
+      return "Table Scan";
+    case PlanOp::kIndexScan:
+      return "Index Scan";
+    case PlanOp::kFilter:
+      return "Filter";
+    case PlanOp::kNestedLoopJoin:
+      return "Nested loop inner join";
+    case PlanOp::kIndexNestedLoopJoin:
+      return "Index nested loop join";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kLimit:
+      return "Limit";
+    case PlanOp::kGroupAggregate:
+      return "Group aggregate";
+    case PlanOp::kProject:
+      return "Project";
+    case PlanOp::kColumnScan:
+      return "Columnar scan";
+    case PlanOp::kHashJoin:
+      return "Hash join";
+    case PlanOp::kHashAggregate:
+      return "Hash aggregate";
+    case PlanOp::kTopN:
+      return "Top-N";
+    case PlanOp::kExchange:
+      return "Exchange";
+  }
+  return "?";
+}
+
+JsonValue PlanNode::ToJson() const {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("Node Type", JsonValue::String(PlanOpName(op)));
+  // Costs render with one decimal at most three significant digits like the
+  // paper's examples (5213.0, 2.75, 290.0).
+  obj.Set("Total Cost", JsonValue::Double(std::round(total_cost * 100.0) / 100.0));
+  obj.Set("Plan Rows",
+          JsonValue::Int(static_cast<int64_t>(std::llround(
+              estimated_rows < 1.0 ? 1.0 : estimated_rows))));
+  if (!relation.empty()) {
+    obj.Set("Relation Name", JsonValue::String(relation));
+    if (base_rows > 0) {
+      obj.Set("Table Rows", JsonValue::Int(static_cast<int64_t>(base_rows)));
+    }
+  }
+  if (!index_name.empty()) {
+    obj.Set("Index Name", JsonValue::String(index_name));
+    obj.Set("Index Column", JsonValue::String(index_column));
+  }
+  if (!columns_read.empty()) {
+    JsonValue cols = JsonValue::MakeArray();
+    for (const auto& c : columns_read) cols.Append(JsonValue::String(c));
+    obj.Set("Columns", cols);
+  }
+  if (!predicates.empty()) {
+    std::string cond;
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) cond += " AND ";
+      cond += predicates[i]->ToString();
+    }
+    obj.Set("Condition", JsonValue::String(cond));
+  }
+  if (left_key != nullptr && right_key != nullptr) {
+    obj.Set("Join Cond", JsonValue::String(left_key->ToString() + " = " +
+                                           right_key->ToString()));
+  }
+  if (!sort_keys.empty()) {
+    std::string keys;
+    for (size_t i = 0; i < sort_keys.size(); ++i) {
+      if (i > 0) keys += ", ";
+      keys += sort_keys[i].expr->ToString();
+      if (sort_keys[i].descending) keys += " DESC";
+    }
+    obj.Set("Sort Key", JsonValue::String(keys));
+  }
+  if (limit >= 0) obj.Set("Limit", JsonValue::Int(limit));
+  if (offset > 0) obj.Set("Offset", JsonValue::Int(offset));
+  if (!group_keys.empty()) {
+    std::string keys;
+    for (size_t i = 0; i < group_keys.size(); ++i) {
+      if (i > 0) keys += ", ";
+      keys += group_keys[i]->ToString();
+    }
+    obj.Set("Group Key", JsonValue::String(keys));
+  }
+  if (!children.empty()) {
+    JsonValue plans = JsonValue::MakeArray();
+    for (const auto& c : children) plans.Append(c->ToJson());
+    obj.Set("Plans", plans);
+  }
+  return obj;
+}
+
+std::string PlanNode::ToTreeString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += PlanOpName(op);
+  if (!relation.empty()) out += " on " + relation;
+  if (!index_name.empty()) out += " using " + index_name;
+  out += StrFormat(" (cost=%.2f rows=%.0f)", total_cost, estimated_rows);
+  out += "\n";
+  for (const auto& c : children) out += c->ToTreeString(indent + 1);
+  return out;
+}
+
+int PlanNode::TreeSize() const {
+  int n = 1;
+  for (const auto& c : children) n += c->TreeSize();
+  return n;
+}
+
+}  // namespace htapex

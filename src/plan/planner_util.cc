@@ -1,0 +1,130 @@
+#include "plan/planner_util.h"
+
+#include <algorithm>
+
+namespace htapex {
+
+std::vector<std::string> ReferencedColumns(const BoundQuery& query,
+                                           int table_idx) {
+  std::set<std::string> cols;
+  auto visit = [&](const Expr& e) {
+    std::vector<const Expr*> refs;
+    e.CollectColumnRefs(&refs);
+    for (const Expr* r : refs) {
+      if (r->bound_table == table_idx) cols.insert(r->column_name);
+    }
+  };
+  for (const auto& item : query.stmt.items) visit(*item.expr);
+  for (const auto& c : query.conjuncts) visit(*c.expr);
+  for (const auto& g : query.stmt.group_by) visit(*g);
+  if (query.stmt.having != nullptr) visit(*query.stmt.having);
+  for (const auto& o : query.stmt.order_by) visit(*o.expr);
+  return {cols.begin(), cols.end()};
+}
+
+std::vector<int> SingleTableConjuncts(const BoundQuery& query, int table_idx) {
+  std::vector<int> out;
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const auto& c = query.conjuncts[i];
+    if (c.tables.size() == 1 && c.tables[0] == table_idx) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> JoinConjunctsBetween(const BoundQuery& query,
+                                      const std::set<int>& joined, int t) {
+  std::vector<int> out;
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const auto& c = query.conjuncts[i];
+    if (!c.is_equi_join) continue;
+    bool connects = (joined.count(c.left_table) > 0 && c.right_table == t) ||
+                    (joined.count(c.right_table) > 0 && c.left_table == t);
+    if (connects) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> ResidualConjuncts(const BoundQuery& query,
+                                   const std::set<int>& joined,
+                                   int newly_added) {
+  std::vector<int> out;
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const auto& c = query.conjuncts[i];
+    if (c.is_equi_join || c.tables.size() <= 1) continue;
+    bool touches_new = std::find(c.tables.begin(), c.tables.end(),
+                                 newly_added) != c.tables.end();
+    if (!touches_new) continue;
+    bool all_in = true;
+    for (int t : c.tables) {
+      if (joined.count(t) == 0) {
+        all_in = false;
+        break;
+      }
+    }
+    if (all_in) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::unique_ptr<Expr> MakeSlotRef(int slot, DataType type, std::string label) {
+  auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
+  e->column_name = std::move(label);
+  e->flat_slot = slot;
+  e->bound_table = -1;
+  e->bound_column = -1;
+  e->result_type = type;
+  return e;
+}
+
+Result<std::unique_ptr<Expr>> RewriteForOutput(const Expr& expr,
+                                               const OutputSlotMap& slots) {
+  auto it = slots.find(expr.ToString());
+  if (it != slots.end()) {
+    return MakeSlotRef(it->second, expr.result_type, expr.ToString());
+  }
+  if (expr.kind == ExprKind::kAggregate) {
+    return Status::PlanError(
+        "aggregate not present in aggregation output: " + expr.ToString());
+  }
+  if (expr.kind == ExprKind::kColumnRef) {
+    return Status::PlanError(
+        "column above aggregation is not a group key: " + expr.ToString());
+  }
+  auto out = expr.Clone();
+  for (size_t i = 0; i < out->children.size(); ++i) {
+    std::unique_ptr<Expr> rewritten;
+    HTAPEX_ASSIGN_OR_RETURN(rewritten,
+                            RewriteForOutput(*expr.children[i], slots));
+    out->children[i] = std::move(rewritten);
+  }
+  return Result<std::unique_ptr<Expr>>(std::move(out));
+}
+
+std::vector<const Expr*> CollectAggregates(const BoundQuery& query) {
+  std::vector<const Expr*> out;
+  std::set<std::string> seen;
+  auto collect = [&](const Expr& e, auto&& self) -> void {
+    if (e.kind == ExprKind::kAggregate) {
+      if (seen.insert(e.ToString()).second) out.push_back(&e);
+      return;
+    }
+    for (const auto& c : e.children) self(*c, self);
+  };
+  for (const auto& item : query.stmt.items) collect(*item.expr, collect);
+  for (const auto& o : query.stmt.order_by) collect(*o.expr, collect);
+  if (query.stmt.having != nullptr) collect(*query.stmt.having, collect);
+  return out;
+}
+
+std::vector<std::string> OutputNames(const BoundQuery& query) {
+  std::vector<std::string> names;
+  names.reserve(query.stmt.items.size());
+  for (const auto& item : query.stmt.items) {
+    names.push_back(item.alias.empty() ? item.expr->ToString() : item.alias);
+  }
+  return names;
+}
+
+}  // namespace htapex

@@ -1,0 +1,59 @@
+#ifndef HTAPEX_PLAN_PLANNER_UTIL_H_
+#define HTAPEX_PLAN_PLANNER_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plan/cardinality.h"
+#include "plan/plan_node.h"
+#include "sql/binder.h"
+
+namespace htapex {
+
+/// Helpers shared by the TP and AP optimizers (they share *structure*
+/// analysis; their cost formulas live in their own modules).
+
+/// Column names of `table_idx` referenced anywhere in the query (select,
+/// predicates, group/order keys). This is what a columnar scan must read.
+std::vector<std::string> ReferencedColumns(const BoundQuery& query,
+                                           int table_idx);
+
+/// Indices of conjuncts that touch exactly {table_idx}.
+std::vector<int> SingleTableConjuncts(const BoundQuery& query, int table_idx);
+
+/// Indices of equi-join conjuncts connecting `joined` with table `t`.
+std::vector<int> JoinConjunctsBetween(const BoundQuery& query,
+                                      const std::set<int>& joined, int t);
+
+/// Multi-table, non-equi-join conjuncts whose referenced tables are all in
+/// `joined` and which touch `newly_added` (residual join filters).
+std::vector<int> ResidualConjuncts(const BoundQuery& query,
+                                   const std::set<int>& joined,
+                                   int newly_added);
+
+/// Maps expression text to an output slot; used to rewrite expressions that
+/// sit above an aggregation (whose output layout is [group keys..., aggs...]).
+using OutputSlotMap = std::map<std::string, int>;
+
+/// Rewrites `expr` so that any subtree whose text appears in `slots` becomes
+/// a bare slot reference into the aggregate's output layout. Fails when an
+/// aggregate subtree is not present in the map.
+Result<std::unique_ptr<Expr>> RewriteForOutput(const Expr& expr,
+                                               const OutputSlotMap& slots);
+
+/// Makes a bare slot-reference expression (used by RewriteForOutput).
+std::unique_ptr<Expr> MakeSlotRef(int slot, DataType type, std::string label);
+
+/// Collects the distinct aggregate expressions appearing in select items
+/// and ORDER BY of `query`, in first-appearance order.
+std::vector<const Expr*> CollectAggregates(const BoundQuery& query);
+
+/// Result column names: alias when present, expression text otherwise.
+std::vector<std::string> OutputNames(const BoundQuery& query);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_PLAN_PLANNER_UTIL_H_

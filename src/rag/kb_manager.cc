@@ -1,0 +1,124 @@
+#include "rag/kb_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "vectordb/vector_store.h"
+
+namespace htapex {
+
+namespace {
+
+/// k-means++-style seeding: spread initial medoids out.
+std::vector<int> SeedMedoids(const std::vector<KbCandidate>& c, int k,
+                             Rng* rng) {
+  std::vector<int> medoids;
+  medoids.push_back(static_cast<int>(
+      rng->Uniform(0, static_cast<int64_t>(c.size()) - 1)));
+  while (static_cast<int>(medoids.size()) < k) {
+    std::vector<double> min_dist(c.size(),
+                                 std::numeric_limits<double>::max());
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (int m : medoids) {
+        min_dist[i] = std::min(
+            min_dist[i],
+            SquaredL2(c[i].embedding, c[static_cast<size_t>(m)].embedding));
+      }
+    }
+    size_t pick = rng->WeightedIndex(min_dist);
+    // Avoid duplicate medoids (zero-distance picks).
+    if (std::find(medoids.begin(), medoids.end(), static_cast<int>(pick)) ==
+        medoids.end()) {
+      medoids.push_back(static_cast<int>(pick));
+    } else {
+      medoids.push_back(static_cast<int>(
+          rng->Uniform(0, static_cast<int64_t>(c.size()) - 1)));
+    }
+  }
+  return medoids;
+}
+
+}  // namespace
+
+std::vector<int> KbManager::SelectRepresentatives(
+    const std::vector<KbCandidate>& candidates, int k, uint64_t seed) {
+  if (candidates.empty() || k <= 0) return {};
+  if (static_cast<size_t>(k) >= candidates.size()) {
+    std::vector<int> all(candidates.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    return all;
+  }
+  Rng rng(seed);
+  std::vector<int> medoids = SeedMedoids(candidates, k, &rng);
+  std::vector<int> assignment(candidates.size(), 0);
+
+  for (int iter = 0; iter < 20; ++iter) {
+    // Assign each candidate to its nearest medoid.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (size_t m = 0; m < medoids.size(); ++m) {
+        double d = SquaredL2(
+            candidates[i].embedding,
+            candidates[static_cast<size_t>(medoids[m])].embedding);
+        if (d < best) {
+          best = d;
+          assignment[i] = static_cast<int>(m);
+        }
+      }
+    }
+    // Re-pick each cluster's medoid: the member minimizing total
+    // intra-cluster distance.
+    bool changed = false;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      double best_cost = std::numeric_limits<double>::max();
+      int best_idx = medoids[m];
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (assignment[i] != static_cast<int>(m)) continue;
+        double cost = 0;
+        for (size_t j = 0; j < candidates.size(); ++j) {
+          if (assignment[j] != static_cast<int>(m)) continue;
+          cost += SquaredL2(candidates[i].embedding, candidates[j].embedding);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_idx = static_cast<int>(i);
+        }
+      }
+      if (best_idx != medoids[m]) {
+        medoids[m] = best_idx;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::sort(medoids.begin(), medoids.end());
+  return medoids;
+}
+
+std::vector<int> KbManager::SelectStale(const KnowledgeBase& kb,
+                                        size_t target_size) {
+  std::vector<const KbEntry*> entries = kb.Entries();
+  if (entries.size() <= target_size) return {};
+  std::sort(entries.begin(), entries.end(),
+            [&](const KbEntry* a, const KbEntry* b) {
+              int64_t ha = kb.RetrievalHits(a->id);
+              int64_t hb = kb.RetrievalHits(b->id);
+              if (ha != hb) return ha < hb;       // least used first
+              return a->sequence < b->sequence;   // oldest first
+            });
+  std::vector<int> stale;
+  size_t to_remove = entries.size() - target_size;
+  for (size_t i = 0; i < to_remove; ++i) stale.push_back(entries[i]->id);
+  return stale;
+}
+
+Result<int> KbManager::ShrinkTo(KnowledgeBase* kb, size_t target_size) {
+  std::vector<int> stale = SelectStale(*kb, target_size);
+  for (int id : stale) {
+    HTAPEX_RETURN_IF_ERROR(kb->Expire(id));
+  }
+  return static_cast<int>(stale.size());
+}
+
+}  // namespace htapex

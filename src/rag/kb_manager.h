@@ -1,0 +1,45 @@
+#ifndef HTAPEX_RAG_KB_MANAGER_H_
+#define HTAPEX_RAG_KB_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vectordb/knowledge_base.h"
+
+namespace htapex {
+
+/// A candidate query for knowledge-base inclusion: its SQL and plan-pair
+/// embedding (expert annotation happens only for the selected ones, which
+/// is the point — annotations are the expensive resource).
+struct KbCandidate {
+  std::string sql;
+  std::vector<double> embedding;
+};
+
+/// Knowledge-base management policies — the paper's Section VII future
+/// work: "developing strategies for maintaining the knowledge base
+/// (including selecting representative queries and expiring stale
+/// queries)".
+class KbManager {
+ public:
+  /// Selects k representative candidates by k-medoids (PAM-style) over the
+  /// embeddings: medoids cover the workload's performance-distinction
+  /// clusters, so a fixed expert-annotation budget buys maximal retrieval
+  /// coverage. Returns indices into `candidates`. Deterministic in `seed`.
+  static std::vector<int> SelectRepresentatives(
+      const std::vector<KbCandidate>& candidates, int k, uint64_t seed = 42);
+
+  /// Entries to expire so the KB shrinks to `target_size` live entries:
+  /// least-retrieved first, oldest first among ties. Returns entry ids.
+  static std::vector<int> SelectStale(const KnowledgeBase& kb,
+                                      size_t target_size);
+
+  /// Applies SelectStale: expires the returned entries. Returns how many
+  /// were expired.
+  static Result<int> ShrinkTo(KnowledgeBase* kb, size_t target_size);
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_RAG_KB_MANAGER_H_

@@ -1,0 +1,22 @@
+#ifndef HTAPEX_ROUTER_PLAN_FEATURIZER_H_
+#define HTAPEX_ROUTER_PLAN_FEATURIZER_H_
+
+#include "nn/tree_cnn.h"
+#include "plan/plan_node.h"
+
+namespace htapex {
+
+/// Number of features per plan-tree node (see plan_featurizer.cc for the
+/// layout: operator one-hot + normalized cardinality/cost + structure
+/// flags).
+constexpr int kPlanFeatureDim = 21;
+
+/// Converts a physical plan into the tree-CNN input: pre-order node list
+/// with binarized child links and per-node feature vectors. Works for plans
+/// from either engine (the encoder is shared; the operator one-hot
+/// distinguishes engine-specific operators).
+PlanTreeFeatures FeaturizePlan(const PhysicalPlan& plan);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ROUTER_PLAN_FEATURIZER_H_

@@ -1,0 +1,96 @@
+#include "router/smart_router.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace htapex {
+
+SmartRouter::SmartRouter(uint64_t seed) : seed_(seed) {
+  TreeCnn::Config config;
+  config.feature_dim = kPlanFeatureDim;
+  config.seed = seed;
+  cnn_ = std::make_unique<TreeCnn>(config);
+}
+
+PairExample SmartRouter::MakeExample(const PlanPair& plans,
+                                     EngineKind faster) const {
+  PairExample ex;
+  ex.tp = FeaturizePlan(plans.tp);
+  ex.ap = FeaturizePlan(plans.ap);
+  ex.label = faster == EngineKind::kAp ? 1 : 0;
+  return ex;
+}
+
+RouterTrainStats SmartRouter::Train(const std::vector<PairExample>& dataset,
+                                    int epochs, int batch_size,
+                                    double learning_rate) {
+  RouterTrainStats stats;
+  if (dataset.empty()) return stats;
+  WallTimer timer;
+  Rng rng(seed_ ^ 0x5eed);
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(batch_size)) {
+      std::vector<const PairExample*> batch;
+      for (size_t i = start;
+           i < order.size() && i < start + static_cast<size_t>(batch_size);
+           ++i) {
+        batch.push_back(&dataset[order[i]]);
+      }
+      loss += cnn_->TrainBatch(batch, learning_rate);
+      ++batches;
+    }
+    loss /= std::max(batches, 1);
+  }
+  stats.epochs = epochs;
+  stats.final_loss = loss;
+  stats.train_accuracy = EvaluateAccuracy(dataset);
+  stats.wall_seconds = timer.ElapsedMillis() / 1000.0;
+  return stats;
+}
+
+double SmartRouter::ApProbability(const PlanPair& plans) const {
+  return cnn_->PredictApFaster(FeaturizePlan(plans.tp), FeaturizePlan(plans.ap));
+}
+
+EngineKind SmartRouter::Route(const PlanPair& plans) const {
+  return ApProbability(plans) >= 0.5 ? EngineKind::kAp : EngineKind::kTp;
+}
+
+std::vector<double> SmartRouter::Embed(const PlanPair& plans) const {
+  return EmbedFeatures(FeaturizePlan(plans.tp), FeaturizePlan(plans.ap));
+}
+
+std::vector<double> SmartRouter::EmbedFeatures(
+    const PlanTreeFeatures& tp, const PlanTreeFeatures& ap) const {
+  std::vector<double> embedding;
+  cnn_->PredictApFaster(tp, ap, &embedding);
+  if (quant_step_ > 0) {
+    for (double& v : embedding) {
+      v = std::round(v / quant_step_) * quant_step_;
+    }
+  }
+  return embedding;
+}
+
+double SmartRouter::EvaluateAccuracy(
+    const std::vector<PairExample>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  int correct = 0;
+  for (const PairExample& ex : dataset) {
+    double p = cnn_->PredictApFaster(ex.tp, ex.ap);
+    int pred = p >= 0.5 ? 1 : 0;
+    if (pred == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace htapex

@@ -1,0 +1,73 @@
+#ifndef HTAPEX_ROUTER_SMART_ROUTER_H_
+#define HTAPEX_ROUTER_SMART_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tree_cnn.h"
+#include "plan/plan_node.h"
+#include "router/plan_featurizer.h"
+
+namespace htapex {
+
+/// Training report for the router.
+struct RouterTrainStats {
+  int epochs = 0;
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// ByteHTAP's "smart router": a lightweight tree-CNN classifier that
+/// predicts which engine will run a query faster, and whose penultimate
+/// layer provides the 16-dim plan-pair embeddings used as knowledge-base
+/// keys (Section III of the paper). Model size is ~100 KB, inference is
+/// sub-millisecond — matching the paper's "<1 MB, ~1 ms" characterization.
+class SmartRouter {
+ public:
+  explicit SmartRouter(uint64_t seed = 7);
+
+  /// Builds one training/evaluation example from a plan pair + label.
+  PairExample MakeExample(const PlanPair& plans, EngineKind faster) const;
+
+  /// Trains with Adam + minibatches; deterministic for a fixed seed.
+  RouterTrainStats Train(const std::vector<PairExample>& dataset, int epochs,
+                         int batch_size = 16, double learning_rate = 5e-3);
+
+  /// Probability that AP is the faster engine for this plan pair.
+  double ApProbability(const PlanPair& plans) const;
+  /// Routing decision.
+  EngineKind Route(const PlanPair& plans) const;
+
+  /// Embedding quantization step (0 = off). Stored knowledge-base keys and
+  /// query embeddings are snapped to this grid, modelling the compressed
+  /// vector codes a production KB stores. Coarser steps save space but make
+  /// near-ties collide — the "encoding mechanism may not be perfect"
+  /// imperfection the paper attributes its K=1 accuracy drop to.
+  void set_embedding_quantization(double step) { quant_step_ = step; }
+  double embedding_quantization() const { return quant_step_; }
+
+  /// The 16-dim plan-pair embedding (concatenated per-plan encodings).
+  std::vector<double> Embed(const PlanPair& plans) const;
+  /// Embedding from already-featurized trees (e.g. stored examples).
+  std::vector<double> EmbedFeatures(const PlanTreeFeatures& tp,
+                                    const PlanTreeFeatures& ap) const;
+  int embedding_dim() const { return cnn_->pair_embedding_dim(); }
+
+  /// Fraction of examples routed correctly.
+  double EvaluateAccuracy(const std::vector<PairExample>& dataset) const;
+
+  size_t model_bytes() const { return cnn_->ByteSize(); }
+  Status Save(const std::string& path) const { return cnn_->Save(path); }
+  Status Load(const std::string& path) { return cnn_->Load(path); }
+
+ private:
+  std::unique_ptr<TreeCnn> cnn_;
+  uint64_t seed_;
+  double quant_step_ = 0.0;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ROUTER_SMART_ROUTER_H_

@@ -1,0 +1,52 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) {
+    out += StrFormat(" LIMIT %lld", static_cast<long long>(*limit));
+  }
+  if (offset.has_value()) {
+    out += StrFormat(" OFFSET %lld", static_cast<long long>(*offset));
+  }
+  return out;
+}
+
+}  // namespace htapex

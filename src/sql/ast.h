@@ -1,0 +1,55 @@
+#ifndef HTAPEX_SQL_AST_H_
+#define HTAPEX_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+
+namespace htapex {
+
+/// One entry of the SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // optional
+};
+
+/// A base table reference with optional alias. Explicit JOIN ... ON clauses
+/// are normalized by the parser into the FROM list plus WHERE conjuncts, so
+/// downstream code sees a single canonical form.
+struct TableRef {
+  std::string table;
+  std::string alias;  // equals `table` when no alias was given
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+/// Parsed SELECT statement.
+struct SelectStatement {
+  bool select_star = false;  // SELECT *
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;  // may be null
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;  // may be null
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  /// Re-renders the statement as SQL (canonical form; joins appear as comma
+  /// FROM plus WHERE equalities).
+  std::string ToString() const;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_SQL_AST_H_

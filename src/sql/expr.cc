@@ -1,0 +1,354 @@
+#include "sql/expr.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->literal = literal;
+  out->table_name = table_name;
+  out->column_name = column_name;
+  out->bound_table = bound_table;
+  out->bound_column = bound_column;
+  out->flat_slot = flat_slot;
+  out->result_type = result_type;
+  out->cmp_op = cmp_op;
+  out->arith_op = arith_op;
+  out->func_name = func_name;
+  out->agg_kind = agg_kind;
+  out->count_star = count_star;
+  out->distinct = distinct;
+  out->negated = negated;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table_name.empty() ? column_name : table_name + "." + column_name;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kComparison:
+      return children[0]->ToString() + " " + CompareOpName(cmp_op) + " " +
+             children[1]->ToString();
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " + children[1]->ToString() +
+             ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case ExprKind::kIn: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return children[0]->ToString() + " BETWEEN " + children[1]->ToString() +
+             " AND " + children[2]->ToString();
+    case ExprKind::kFunction: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate:
+      if (count_star) return "COUNT(*)";
+      return std::string(AggKindName(agg_kind)) + "(" +
+             (distinct ? "DISTINCT " : "") + children[0]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kArithmetic: {
+      const char* op = arith_op == ArithOp::kAdd   ? "+"
+                       : arith_op == ArithOp::kSub ? "-"
+                       : arith_op == ArithOp::kMul ? "*"
+                                                   : "/";
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void Expr::CollectColumnRefs(std::vector<const Expr*>* out) const {
+  if (kind == ExprKind::kColumnRef) out->push_back(this);
+  for (const auto& c : children) c->CollectColumnRefs(out);
+}
+
+std::unique_ptr<Expr> MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
+  e->table_name = std::move(table);
+  e->column_name = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeComparison(CompareOp op, std::unique_ptr<Expr> l,
+                                     std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>(ExprKind::kComparison);
+  e->cmp_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> MakeAnd(std::unique_ptr<Expr> l, std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>(ExprKind::kAnd);
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+namespace {
+
+Result<Value> EvalFunction(const Expr& expr, const std::vector<Value>& row) {
+  std::string fn = ToLower(expr.func_name);
+  std::vector<Value> args;
+  args.reserve(expr.children.size());
+  for (const auto& c : expr.children) {
+    HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, row));
+    args.push_back(std::move(v));
+  }
+  for (const Value& a : args) {
+    if (a.is_null()) return Value::Null();
+  }
+  if (fn == "substring" || fn == "substr") {
+    if (args.size() != 3 || !args[0].is_string()) {
+      return Status::ExecutionError("SUBSTRING expects (string, start, length)");
+    }
+    const std::string& s = args[0].AsString();
+    int64_t start = args[1].AsInt();  // 1-based
+    int64_t len = args[2].AsInt();
+    if (start < 1) start = 1;
+    if (start > static_cast<int64_t>(s.size()) || len <= 0) {
+      return Value::Str("");
+    }
+    return Value::Str(s.substr(static_cast<size_t>(start - 1),
+                               static_cast<size_t>(len)));
+  }
+  if (fn == "lower") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::ExecutionError("LOWER expects one string argument");
+    }
+    return Value::Str(ToLower(args[0].AsString()));
+  }
+  if (fn == "upper") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::ExecutionError("UPPER expects one string argument");
+    }
+    return Value::Str(ToUpper(args[0].AsString()));
+  }
+  if (fn == "length") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::ExecutionError("LENGTH expects one string argument");
+    }
+    return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (fn == "year") {
+    if (args.size() != 1) return Status::ExecutionError("YEAR expects one argument");
+    std::string date = FormatDate(args[0].AsInt());
+    return Value::Int(std::strtoll(date.substr(0, 4).c_str(), nullptr, 10));
+  }
+  return Status::ExecutionError("unknown function: " + expr.func_name);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& row) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (expr.flat_slot < 0 ||
+          expr.flat_slot >= static_cast<int>(row.size())) {
+        return Status::ExecutionError("unbound column ref: " + expr.ToString());
+      }
+      return row[static_cast<size_t>(expr.flat_slot)];
+    }
+    case ExprKind::kStar:
+      return Status::ExecutionError("* cannot be evaluated as a value");
+    case ExprKind::kComparison: {
+      HTAPEX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      HTAPEX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (expr.cmp_op == CompareOp::kLike) {
+        if (!l.is_string() || !r.is_string()) {
+          return Status::ExecutionError("LIKE expects string operands");
+        }
+        return Value::Int(LikeMatch(l.AsString(), r.AsString()) ? 1 : 0);
+      }
+      int c = l.Compare(r);
+      bool result = false;
+      switch (expr.cmp_op) {
+        case CompareOp::kEq:
+          result = c == 0;
+          break;
+        case CompareOp::kNe:
+          result = c != 0;
+          break;
+        case CompareOp::kLt:
+          result = c < 0;
+          break;
+        case CompareOp::kLe:
+          result = c <= 0;
+          break;
+        case CompareOp::kGt:
+          result = c > 0;
+          break;
+        case CompareOp::kGe:
+          result = c >= 0;
+          break;
+        case CompareOp::kLike:
+          break;
+      }
+      return Value::Int(result ? 1 : 0);
+    }
+    case ExprKind::kAnd: {
+      HTAPEX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      if (!l.is_null() && l.AsInt() == 0) return Value::Int(0);
+      HTAPEX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (!r.is_null() && r.AsInt() == 0) return Value::Int(0);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Int(1);
+    }
+    case ExprKind::kOr: {
+      HTAPEX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      if (!l.is_null() && l.AsInt() != 0) return Value::Int(1);
+      HTAPEX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (!r.is_null() && r.AsInt() != 0) return Value::Int(1);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Int(0);
+    }
+    case ExprKind::kNot: {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return Value::Int(v.AsInt() == 0 ? 1 : 0);
+    }
+    case ExprKind::kIn: {
+      HTAPEX_ASSIGN_OR_RETURN(Value needle, EvalExpr(*expr.children[0], row));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[i], row));
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (needle.Compare(v) == 0) return Value::Int(1);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Int(0);
+    }
+    case ExprKind::kBetween: {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      HTAPEX_ASSIGN_OR_RETURN(Value lo, EvalExpr(*expr.children[1], row));
+      HTAPEX_ASSIGN_OR_RETURN(Value hi, EvalExpr(*expr.children[2], row));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      return Value::Int(v.Compare(lo) >= 0 && v.Compare(hi) <= 0 ? 1 : 0);
+    }
+    case ExprKind::kFunction:
+      return EvalFunction(expr, row);
+    case ExprKind::kAggregate:
+      return Status::ExecutionError(
+          "aggregate must be evaluated by an aggregation operator");
+    case ExprKind::kIsNull: {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      bool is_null = v.is_null();
+      return Value::Int((expr.negated ? !is_null : is_null) ? 1 : 0);
+    }
+    case ExprKind::kArithmetic: {
+      HTAPEX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.children[0], row));
+      HTAPEX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.children[1], row));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      bool both_int = l.is_int() && r.is_int();
+      switch (expr.arith_op) {
+        case ArithOp::kAdd:
+          return both_int ? Value::Int(l.AsInt() + r.AsInt())
+                          : Value::Double(l.AsDouble() + r.AsDouble());
+        case ArithOp::kSub:
+          return both_int ? Value::Int(l.AsInt() - r.AsInt())
+                          : Value::Double(l.AsDouble() - r.AsDouble());
+        case ArithOp::kMul:
+          return both_int ? Value::Int(l.AsInt() * r.AsInt())
+                          : Value::Double(l.AsDouble() * r.AsDouble());
+        case ArithOp::kDiv: {
+          double d = r.AsDouble();
+          if (d == 0.0) return Value::Null();
+          return Value::Double(l.AsDouble() / d);
+        }
+      }
+      return Status::Internal("unreachable arithmetic op");
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const std::vector<Value>& row) {
+  HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+  if (v.is_null()) return false;
+  return v.AsInt() != 0;
+}
+
+}  // namespace htapex

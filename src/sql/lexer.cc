@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",      "ORDER",  "LIMIT",
+      "OFFSET", "AND",   "OR",     "NOT",    "IN",      "BETWEEN", "LIKE",
+      "AS",     "ASC",   "DESC",   "JOIN",   "INNER",   "ON",     "COUNT",
+      "SUM",    "AVG",   "MIN",    "MAX",    "DISTINCT", "HAVING", "NULL",
+      "IS",     "TRUE",  "FALSE",  "DATE"};
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word(sql.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLower(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (is_float) break;  // second dot terminates the number
+          is_float = true;
+        }
+        ++i;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = sql.substr(i, 2);
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(two == "!=" ? "<>" : two);
+      tokens.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace htapex

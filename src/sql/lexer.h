@@ -1,0 +1,43 @@
+#ifndef HTAPEX_SQL_LEXER_H_
+#define HTAPEX_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htapex {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, ... (normalized upper-case in `text`)
+  kIdentifier,  // table / column / function names (normalized lower-case)
+  kInteger,
+  kFloat,
+  kString,      // single-quoted literal (unescaped contents in `text`)
+  kOperator,    // = <> != < <= > >= + - * / ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers are normalized to lower case
+/// (TPC-H columns are lower-case). String literals use single quotes with
+/// '' as the escape for a quote.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_SQL_LEXER_H_

@@ -1,0 +1,17 @@
+#ifndef HTAPEX_SQL_PARSER_H_
+#define HTAPEX_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace htapex {
+
+/// Parses one SELECT statement (optionally ';'-terminated). Explicit
+/// `a JOIN b ON cond` is normalized into comma-FROM plus WHERE conjuncts.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_SQL_PARSER_H_

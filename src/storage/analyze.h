@@ -1,0 +1,24 @@
+#ifndef HTAPEX_STORAGE_ANALYZE_H_
+#define HTAPEX_STORAGE_ANALYZE_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table_data.h"
+
+namespace htapex {
+
+/// ANALYZE: measures table statistics from actual data — row count, per
+/// column NDV (exact), min/max, null fraction, and average width.
+///
+/// The catalog normally carries *analytic* statistics from the TPC-H model
+/// (catalog/tpch.cc) so the optimizers can reason about data volumes far
+/// larger than what is physically loaded. ComputeTableStats closes the
+/// loop: tests compare measured statistics of loaded data against the
+/// analytic model at the same scale factor, validating the model the whole
+/// latency simulation rests on.
+Result<TableStats> ComputeTableStats(const TableSchema& schema,
+                                     const TableData& data);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_STORAGE_ANALYZE_H_

@@ -1,0 +1,107 @@
+#include "storage/column_store.h"
+
+namespace htapex {
+
+void ColumnVector::Append(const Value& v) {
+  size_t seg = size_ / kSegmentRows;
+  if (seg >= zone_min_.size()) {
+    zone_min_.emplace_back();
+    zone_max_.emplace_back();
+    zone_all_null_.push_back(1);
+  }
+  bool is_null = v.is_null();
+  nulls_.push_back(is_null ? 1 : 0);
+  switch (type_) {
+    case DataType::kInt:
+    case DataType::kDate:
+      ints_.push_back(is_null ? 0 : v.AsInt());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(is_null ? 0.0 : v.AsDouble());
+      break;
+    case DataType::kString:
+      strings_.push_back(is_null ? std::string() : v.AsString());
+      break;
+  }
+  if (!is_null) {
+    if (zone_all_null_[seg]) {
+      zone_min_[seg] = v;
+      zone_max_[seg] = v;
+      zone_all_null_[seg] = 0;
+    } else {
+      if (v.Compare(zone_min_[seg]) < 0) zone_min_[seg] = v;
+      if (v.Compare(zone_max_[seg]) > 0) zone_max_[seg] = v;
+    }
+  }
+  ++size_;
+}
+
+Value ColumnVector::Get(size_t row) const {
+  if (nulls_[row]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt:
+    case DataType::kDate:
+      return Value::Int(ints_[row]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[row]);
+    case DataType::kString:
+      return Value::Str(strings_[row]);
+  }
+  return Value::Null();
+}
+
+bool ColumnVector::ZoneRange(size_t seg, Value* min_out, Value* max_out) const {
+  if (seg >= zone_min_.size() || zone_all_null_[seg]) return false;
+  *min_out = zone_min_[seg];
+  *max_out = zone_max_[seg];
+  return true;
+}
+
+bool ColumnVector::SegmentMayContain(size_t seg, const Value& v) const {
+  Value min, max;
+  if (!ZoneRange(seg, &min, &max)) return false;
+  return v.Compare(min) >= 0 && v.Compare(max) <= 0;
+}
+
+Status ColumnStore::LoadTable(const Catalog& catalog, const TableData& data) {
+  HTAPEX_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          catalog.GetTable(data.table_name));
+  if (tables_.count(data.table_name) > 0) {
+    return Status::AlreadyExists("table already loaded: " + data.table_name);
+  }
+  ColumnTable table;
+  table.table_name = data.table_name;
+  table.columns.reserve(schema->num_columns());
+  for (const Column& col : schema->columns()) {
+    table.columns.emplace_back(col.type);
+  }
+  for (const Row& row : data.rows) {
+    if (row.size() != schema->num_columns()) {
+      return Status::InvalidArgument("row arity mismatch for table " +
+                                     data.table_name);
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      table.columns[c].Append(row[c]);
+    }
+  }
+  table.num_rows = data.num_rows();
+  tables_.emplace(data.table_name, std::move(table));
+  return Status::OK();
+}
+
+bool ColumnStore::HasTable(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+Result<const ColumnTable*> ColumnStore::GetTable(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table not loaded: " + table);
+  return &it->second;
+}
+
+size_t ColumnStore::RowCount(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.num_rows;
+}
+
+}  // namespace htapex

@@ -1,0 +1,80 @@
+#ifndef HTAPEX_STORAGE_COLUMN_STORE_H_
+#define HTAPEX_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table_data.h"
+
+namespace htapex {
+
+/// Typed columnar storage for one column, with per-segment zone maps
+/// (min/max) enabling segment pruning for range/equality predicates.
+class ColumnVector {
+ public:
+  static constexpr size_t kSegmentRows = 1024;
+
+  ColumnVector() = default;
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  void Append(const Value& v);
+  Value Get(size_t row) const;
+  size_t size() const { return size_; }
+  DataType type() const { return type_; }
+
+  size_t num_segments() const { return zone_min_.size(); }
+  /// Zone map for segment `seg`: [min, max] of non-null values; returns
+  /// false when the segment holds only nulls.
+  bool ZoneRange(size_t seg, Value* min_out, Value* max_out) const;
+  /// True if any value in [min,max] could satisfy equality with `v`.
+  bool SegmentMayContain(size_t seg, const Value& v) const;
+
+ private:
+  DataType type_ = DataType::kInt;
+  size_t size_ = 0;
+  // Typed payloads; which one is populated depends on type_.
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> nulls_;  // 1 = null
+  // Zone maps, one entry per segment of kSegmentRows values.
+  std::vector<Value> zone_min_;
+  std::vector<Value> zone_max_;
+  std::vector<uint8_t> zone_all_null_;
+};
+
+/// A columnar table: one ColumnVector per schema column.
+struct ColumnTable {
+  std::string table_name;
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+};
+
+/// The AP engine's storage: column-oriented tables. Scans read only the
+/// referenced columns (the key columnar advantage the paper's explanations
+/// cite) and skip segments via zone maps.
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  /// Transposes row-major data into columnar form.
+  Status LoadTable(const Catalog& catalog, const TableData& data);
+
+  bool HasTable(const std::string& table) const;
+  Result<const ColumnTable*> GetTable(const std::string& table) const;
+  size_t RowCount(const std::string& table) const;
+
+ private:
+  std::map<std::string, ColumnTable> tables_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,37 @@
+#ifndef HTAPEX_STORAGE_DATAGEN_H_
+#define HTAPEX_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table_data.h"
+
+namespace htapex {
+
+/// Deterministic TPC-H-like data generator.
+///
+/// The generated data follows the domains declared in catalog/tpch.h
+/// (nation names, market segments, order status skew, phone-prefix =
+/// 10+nationkey, ...) so that predicates from the paper's examples (e.g.
+/// `substring(c_phone,1,2) in ('20','40',...)`) select realistic fractions.
+/// Generation is a pure function of (table, scale_factor, seed).
+class TpchDataGenerator {
+ public:
+  explicit TpchDataGenerator(double scale_factor, uint64_t seed = 20260705)
+      : scale_factor_(scale_factor), seed_(seed) {}
+
+  /// Generates one table's contents; fails on unknown table names.
+  Result<TableData> Generate(const std::string& table) const;
+
+  double scale_factor() const { return scale_factor_; }
+
+ private:
+  double scale_factor_;
+  uint64_t seed_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_STORAGE_DATAGEN_H_

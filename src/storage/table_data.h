@@ -1,0 +1,28 @@
+#ifndef HTAPEX_STORAGE_TABLE_DATA_H_
+#define HTAPEX_STORAGE_TABLE_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace htapex {
+
+/// A materialized row.
+using Row = std::vector<Value>;
+
+/// Canonical row-major table contents produced by the data generator. The
+/// row store serves it directly; the column store transposes it at load
+/// time. Row ids are positions in `rows`.
+struct TableData {
+  std::string table_name;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_STORAGE_TABLE_DATA_H_

@@ -1,0 +1,147 @@
+#include "vectordb/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+namespace htapex {
+
+HnswIndex::HnswIndex(int dim, Options options)
+    : dim_(dim), options_(options), rng_(options.seed) {}
+
+int HnswIndex::RandomLevel() {
+  // Geometric level distribution with mult = 1/ln(M).
+  double mult = 1.0 / std::log(static_cast<double>(options_.max_neighbors));
+  double r = rng_.NextDouble();
+  if (r < 1e-12) r = 1e-12;
+  int level = static_cast<int>(-std::log(r) * mult);
+  return std::min(level, 16);
+}
+
+std::vector<SearchHit> HnswIndex::SearchLayer(const std::vector<double>& query,
+                                              std::vector<int> entries,
+                                              int layer, int ef) const {
+  // Classic best-first search with a bounded result heap.
+  auto cmp_near = [](const SearchHit& a, const SearchHit& b) {
+    return a.distance > b.distance;  // min-heap by distance
+  };
+  auto cmp_far = [](const SearchHit& a, const SearchHit& b) {
+    return a.distance < b.distance;  // max-heap by distance
+  };
+  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(cmp_near)>
+      candidates(cmp_near);
+  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(cmp_far)>
+      results(cmp_far);
+  std::set<int> visited;
+  for (int e : entries) {
+    if (!visited.insert(e).second) continue;
+    double d = SquaredL2(query, nodes_[static_cast<size_t>(e)].vec);
+    candidates.push(SearchHit{e, d});
+    results.push(SearchHit{e, d});
+  }
+  while (!candidates.empty()) {
+    SearchHit c = candidates.top();
+    candidates.pop();
+    if (static_cast<int>(results.size()) >= ef &&
+        c.distance > results.top().distance) {
+      break;
+    }
+    const Node& node = nodes_[static_cast<size_t>(c.id)];
+    if (layer < static_cast<int>(node.neighbors.size())) {
+      for (int nb : node.neighbors[static_cast<size_t>(layer)]) {
+        if (!visited.insert(nb).second) continue;
+        double d = SquaredL2(query, nodes_[static_cast<size_t>(nb)].vec);
+        if (static_cast<int>(results.size()) < ef ||
+            d < results.top().distance) {
+          candidates.push(SearchHit{nb, d});
+          results.push(SearchHit{nb, d});
+          while (static_cast<int>(results.size()) > ef) results.pop();
+        }
+      }
+    }
+  }
+  std::vector<SearchHit> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending distance
+  return out;
+}
+
+Result<int> HnswIndex::Add(std::vector<double> vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.vec = std::move(vec);
+  node.level = RandomLevel();
+  node.neighbors.resize(static_cast<size_t>(node.level) + 1);
+  nodes_.push_back(std::move(node));
+
+  if (entry_point_ < 0) {
+    entry_point_ = id;
+    max_level_ = nodes_[static_cast<size_t>(id)].level;
+    return id;
+  }
+
+  const std::vector<double>& q = nodes_[static_cast<size_t>(id)].vec;
+  std::vector<int> entries = {entry_point_};
+  // Greedy descent through layers above the new node's level.
+  for (int layer = max_level_; layer > nodes_[static_cast<size_t>(id)].level;
+       --layer) {
+    std::vector<SearchHit> nearest = SearchLayer(q, entries, layer, 1);
+    if (!nearest.empty()) entries = {nearest[0].id};
+  }
+  // Connect at each layer from min(max_level, node.level) down to 0.
+  for (int layer = std::min(max_level_, nodes_[static_cast<size_t>(id)].level);
+       layer >= 0; --layer) {
+    std::vector<SearchHit> neighbors =
+        SearchLayer(q, entries, layer, options_.ef_construction);
+    int m = options_.max_neighbors;
+    if (static_cast<int>(neighbors.size()) > m) neighbors.resize(static_cast<size_t>(m));
+    entries.clear();
+    for (const SearchHit& h : neighbors) {
+      entries.push_back(h.id);
+      nodes_[static_cast<size_t>(id)].neighbors[static_cast<size_t>(layer)]
+          .push_back(h.id);
+      Node& other = nodes_[static_cast<size_t>(h.id)];
+      if (layer < static_cast<int>(other.neighbors.size())) {
+        auto& adj = other.neighbors[static_cast<size_t>(layer)];
+        adj.push_back(id);
+        // Prune to the M closest to keep degree bounded.
+        if (static_cast<int>(adj.size()) > m) {
+          std::sort(adj.begin(), adj.end(), [&](int a, int b) {
+            return SquaredL2(other.vec, nodes_[static_cast<size_t>(a)].vec) <
+                   SquaredL2(other.vec, nodes_[static_cast<size_t>(b)].vec);
+          });
+          adj.resize(static_cast<size_t>(m));
+        }
+      }
+    }
+  }
+  if (nodes_[static_cast<size_t>(id)].level > max_level_) {
+    max_level_ = nodes_[static_cast<size_t>(id)].level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+std::vector<SearchHit> HnswIndex::Search(const std::vector<double>& query,
+                                         int k) const {
+  if (entry_point_ < 0) return {};
+  std::vector<int> entries = {entry_point_};
+  for (int layer = max_level_; layer > 0; --layer) {
+    std::vector<SearchHit> nearest = SearchLayer(query, entries, layer, 1);
+    if (!nearest.empty()) entries = {nearest[0].id};
+  }
+  std::vector<SearchHit> hits =
+      SearchLayer(query, entries, 0, std::max(options_.ef_search, k));
+  if (static_cast<int>(hits.size()) > k) hits.resize(static_cast<size_t>(k));
+  return hits;
+}
+
+}  // namespace htapex

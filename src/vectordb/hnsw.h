@@ -1,0 +1,61 @@
+#ifndef HTAPEX_VECTORDB_HNSW_H_
+#define HTAPEX_VECTORDB_HNSW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "vectordb/vector_store.h"
+
+namespace htapex {
+
+/// Hierarchical Navigable Small World approximate-nearest-neighbour index
+/// (Malkov & Yashunin, the paper's [10]), built from scratch. Used to show
+/// that knowledge-base search stays sub-dominant as the KB grows
+/// (Section VI-B): exact search is linear, HNSW is ~logarithmic.
+class HnswIndex {
+ public:
+  struct Options {
+    int max_neighbors = 16;       // M
+    int ef_construction = 100;
+    int ef_search = 64;
+    uint64_t seed = 42;
+  };
+
+  explicit HnswIndex(int dim) : HnswIndex(dim, Options()) {}
+  HnswIndex(int dim, Options options);
+
+  int dim() const { return dim_; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Inserts a vector; returns its id (dense, insertion order).
+  Result<int> Add(std::vector<double> vec);
+
+  /// Approximate k nearest neighbours (ascending distance).
+  std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
+
+ private:
+  struct Node {
+    std::vector<double> vec;
+    int level = 0;
+    // neighbors[l] = adjacency at layer l (0..level).
+    std::vector<std::vector<int>> neighbors;
+  };
+
+  int RandomLevel();
+  /// Greedy ef-search at one layer from the given entry points.
+  std::vector<SearchHit> SearchLayer(const std::vector<double>& query,
+                                     std::vector<int> entries, int layer,
+                                     int ef) const;
+
+  int dim_;
+  Options options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  int entry_point_ = -1;
+  int max_level_ = -1;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_VECTORDB_HNSW_H_

@@ -1,0 +1,160 @@
+#include "vectordb/knowledge_base.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace htapex {
+
+KnowledgeBase::KnowledgeBase(int dim, IndexMode mode)
+    : dim_(dim), mode_(mode), exact_(dim) {
+  if (mode_ == IndexMode::kHnsw) {
+    hnsw_ = std::make_unique<HnswIndex>(dim);
+  }
+}
+
+size_t KnowledgeBase::size() const { return exact_.size(); }
+
+Result<int> KnowledgeBase::Insert(KbEntry entry) {
+  if (static_cast<int>(entry.embedding.size()) != dim_) {
+    return Status::InvalidArgument("embedding dimension mismatch");
+  }
+  int id;
+  HTAPEX_ASSIGN_OR_RETURN(id, exact_.Add(entry.embedding));
+  if (hnsw_ != nullptr) {
+    HTAPEX_RETURN_IF_ERROR(hnsw_->Add(entry.embedding).status());
+  }
+  entry.id = id;
+  entry.sequence = next_sequence_++;
+  entries_.push_back(std::move(entry));
+  expired_.push_back(0);
+  hits_.push_back(0);
+  return id;
+}
+
+std::vector<const KbEntry*> KnowledgeBase::Retrieve(
+    const std::vector<double>& embedding, int k) const {
+  std::vector<SearchHit> hits;
+  if (hnsw_ != nullptr) {
+    // Over-fetch to compensate for tombstoned entries the graph still holds.
+    hits = hnsw_->Search(embedding, k + static_cast<int>(entries_.size()) -
+                                        static_cast<int>(size()));
+  } else {
+    hits = exact_.Search(embedding, k);
+  }
+  std::vector<const KbEntry*> out;
+  for (const SearchHit& h : hits) {
+    if (h.id < 0 || h.id >= static_cast<int>(entries_.size())) continue;
+    if (expired_[static_cast<size_t>(h.id)]) continue;
+    ++hits_[static_cast<size_t>(h.id)];
+    out.push_back(&entries_[static_cast<size_t>(h.id)]);
+    if (static_cast<int>(out.size()) >= k) break;
+  }
+  return out;
+}
+
+Status KnowledgeBase::CorrectExplanation(int id, std::string new_explanation) {
+  if (id < 0 || id >= static_cast<int>(entries_.size()) ||
+      expired_[static_cast<size_t>(id)]) {
+    return Status::NotFound("no such knowledge-base entry");
+  }
+  entries_[static_cast<size_t>(id)].expert_explanation =
+      std::move(new_explanation);
+  return Status::OK();
+}
+
+Status KnowledgeBase::Expire(int id) {
+  if (id < 0 || id >= static_cast<int>(entries_.size()) ||
+      expired_[static_cast<size_t>(id)]) {
+    return Status::NotFound("no such knowledge-base entry");
+  }
+  expired_[static_cast<size_t>(id)] = 1;
+  return exact_.Remove(id);
+}
+
+const KbEntry* KnowledgeBase::Get(int id) const {
+  if (id < 0 || id >= static_cast<int>(entries_.size()) ||
+      expired_[static_cast<size_t>(id)]) {
+    return nullptr;
+  }
+  return &entries_[static_cast<size_t>(id)];
+}
+
+int64_t KnowledgeBase::RetrievalHits(int id) const {
+  if (id < 0 || id >= static_cast<int>(hits_.size())) return 0;
+  return hits_[static_cast<size_t>(id)];
+}
+
+std::vector<const KbEntry*> KnowledgeBase::Entries() const {
+  std::vector<const KbEntry*> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!expired_[i]) out.push_back(&entries_[i]);
+  }
+  return out;
+}
+
+Status KnowledgeBase::SaveJson(const std::string& path) const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("dim", JsonValue::Int(dim_));
+  JsonValue items = JsonValue::MakeArray();
+  for (const KbEntry* e : Entries()) {
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("sql", JsonValue::String(e->sql));
+    JsonValue emb = JsonValue::MakeArray();
+    for (double v : e->embedding) emb.Append(JsonValue::Double(v));
+    item.Set("embedding", emb);
+    item.Set("tp_plan", JsonValue::String(e->tp_plan_json));
+    item.Set("ap_plan", JsonValue::String(e->ap_plan_json));
+    item.Set("faster", JsonValue::String(EngineName(e->faster)));
+    item.Set("tp_latency_ms", JsonValue::Double(e->tp_latency_ms));
+    item.Set("ap_latency_ms", JsonValue::Double(e->ap_latency_ms));
+    item.Set("explanation", JsonValue::String(e->expert_explanation));
+    items.Append(std::move(item));
+  }
+  root.Set("entries", std::move(items));
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (fp == nullptr) return Status::IoError("cannot open for write: " + path);
+  std::string text = root.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), fp);
+  std::fclose(fp);
+  return Status::OK();
+}
+
+Status KnowledgeBase::LoadJson(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "r");
+  if (fp == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) text.append(buf, n);
+  std::fclose(fp);
+  JsonValue root;
+  HTAPEX_ASSIGN_OR_RETURN(root, JsonValue::Parse(text));
+  if (root.GetInt("dim") != dim_) {
+    return Status::InvalidArgument("knowledge base dimension mismatch");
+  }
+  const JsonValue* items = root.Find("entries");
+  if (items == nullptr || !items->is_array()) {
+    return Status::ParseError("missing entries array");
+  }
+  for (const JsonValue& item : items->array()) {
+    KbEntry e;
+    e.sql = item.GetString("sql");
+    const JsonValue* emb = item.Find("embedding");
+    if (emb == nullptr || !emb->is_array()) {
+      return Status::ParseError("entry missing embedding");
+    }
+    for (const JsonValue& v : emb->array()) e.embedding.push_back(v.double_value());
+    e.tp_plan_json = item.GetString("tp_plan");
+    e.ap_plan_json = item.GetString("ap_plan");
+    e.faster =
+        item.GetString("faster") == "AP" ? EngineKind::kAp : EngineKind::kTp;
+    e.tp_latency_ms = item.GetDouble("tp_latency_ms");
+    e.ap_latency_ms = item.GetDouble("ap_latency_ms");
+    e.expert_explanation = item.GetString("explanation");
+    HTAPEX_RETURN_IF_ERROR(Insert(std::move(e)).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace htapex

@@ -1,0 +1,83 @@
+#ifndef HTAPEX_VECTORDB_KNOWLEDGE_BASE_H_
+#define HTAPEX_VECTORDB_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "vectordb/hnsw.h"
+#include "vectordb/vector_store.h"
+
+namespace htapex {
+
+/// One knowledge-base record, the paper's Section IV tuple:
+/// <plan pair encoding, plan details, execution result, expert explanation>.
+struct KbEntry {
+  int id = -1;
+  std::string sql;
+  std::vector<double> embedding;    // 16-dim plan-pair encoding (the key)
+  std::string tp_plan_json;         // plan details (Table II format)
+  std::string ap_plan_json;
+  EngineKind faster = EngineKind::kTp;  // execution result
+  double tp_latency_ms = 0.0;
+  double ap_latency_ms = 0.0;
+  std::string expert_explanation;   // curated text
+  int64_t sequence = 0;             // insertion order, for expiry policies
+};
+
+/// The RAG knowledge base: a vector database keyed by plan-pair embeddings
+/// with the expert-curated explanations as values. Supports insertion of
+/// new expert-annotated queries, correction of explanations (the paper's
+/// expert feedback loop), expiry of stale entries, and either exact or
+/// HNSW-indexed search. Persists to JSON.
+class KnowledgeBase {
+ public:
+  enum class IndexMode { kExact, kHnsw };
+
+  explicit KnowledgeBase(int dim, IndexMode mode = IndexMode::kExact);
+
+  int dim() const { return dim_; }
+  size_t size() const;
+  IndexMode index_mode() const { return mode_; }
+
+  /// Inserts an entry (its id and sequence are assigned). Fails on
+  /// embedding dimension mismatch.
+  Result<int> Insert(KbEntry entry);
+
+  /// Top-k entries by embedding distance (live entries only).
+  std::vector<const KbEntry*> Retrieve(const std::vector<double>& embedding,
+                                       int k) const;
+
+  /// Expert feedback: replaces the explanation of an entry.
+  Status CorrectExplanation(int id, std::string new_explanation);
+
+  /// Expires (tombstones) an entry.
+  Status Expire(int id);
+
+  const KbEntry* Get(int id) const;
+  std::vector<const KbEntry*> Entries() const;  // live, in insertion order
+
+  /// How many times entry `id` has been returned by Retrieve (usage signal
+  /// for expiry policies); 0 for unknown ids.
+  int64_t RetrievalHits(int id) const;
+
+  Status SaveJson(const std::string& path) const;
+  Status LoadJson(const std::string& path);
+
+ private:
+  int dim_;
+  IndexMode mode_;
+  std::vector<KbEntry> entries_;
+  std::vector<uint8_t> expired_;
+  // Usage statistics; mutable so the logically-const Retrieve can count.
+  mutable std::vector<int64_t> hits_;
+  VectorStore exact_;
+  std::unique_ptr<HnswIndex> hnsw_;
+  int64_t next_sequence_ = 0;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_VECTORDB_KNOWLEDGE_BASE_H_

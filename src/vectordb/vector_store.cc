@@ -1,0 +1,61 @@
+#include "vectordb/vector_store.h"
+
+#include <algorithm>
+
+namespace htapex {
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+Result<int> VectorStore::Add(std::vector<double> vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  int id = static_cast<int>(vectors_.size());
+  vectors_.push_back(std::move(vec));
+  removed_.push_back(0);
+  ++size_;
+  return id;
+}
+
+Status VectorStore::Remove(int id) {
+  if (id < 0 || id >= static_cast<int>(vectors_.size())) {
+    return Status::NotFound("no such vector id");
+  }
+  if (removed_[static_cast<size_t>(id)]) {
+    return Status::NotFound("vector already removed");
+  }
+  removed_[static_cast<size_t>(id)] = 1;
+  --size_;
+  return Status::OK();
+}
+
+std::vector<SearchHit> VectorStore::Search(const std::vector<double>& query,
+                                           int k) const {
+  std::vector<SearchHit> hits;
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    if (removed_[i]) continue;
+    hits.push_back(SearchHit{static_cast<int>(i), SquaredL2(query, vectors_[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+  });
+  if (static_cast<int>(hits.size()) > k) hits.resize(static_cast<size_t>(k));
+  return hits;
+}
+
+const std::vector<double>* VectorStore::Get(int id) const {
+  if (id < 0 || id >= static_cast<int>(vectors_.size()) ||
+      removed_[static_cast<size_t>(id)]) {
+    return nullptr;
+  }
+  return &vectors_[static_cast<size_t>(id)];
+}
+
+}  // namespace htapex

@@ -1,0 +1,50 @@
+#ifndef HTAPEX_VECTORDB_VECTOR_STORE_H_
+#define HTAPEX_VECTORDB_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htapex {
+
+/// One nearest-neighbour search hit.
+struct SearchHit {
+  int id = -1;
+  double distance = 0.0;  // squared L2
+};
+
+/// Squared L2 distance between equal-length vectors.
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Exact brute-force kNN store. The paper's knowledge base holds only ~20
+/// vectors, where exact search is measured in microseconds; the HNSW index
+/// (hnsw.h) covers the growth scenario discussed in Section VI-B.
+class VectorStore {
+ public:
+  explicit VectorStore(int dim) : dim_(dim) {}
+
+  int dim() const { return dim_; }
+  size_t size() const { return size_; }
+
+  /// Adds a vector, returning its id. Fails on dimension mismatch.
+  Result<int> Add(std::vector<double> vec);
+
+  /// Tombstones an id (removed from future searches).
+  Status Remove(int id);
+
+  /// k nearest neighbours by squared L2, ascending distance.
+  std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
+
+  const std::vector<double>* Get(int id) const;
+
+ private:
+  int dim_;
+  size_t size_ = 0;  // live (non-removed) count
+  std::vector<std::vector<double>> vectors_;
+  std::vector<uint8_t> removed_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_VECTORDB_VECTOR_STORE_H_

@@ -1,0 +1,265 @@
+#include "workload/query_generator.h"
+
+#include "catalog/tpch.h"
+#include "common/string_util.h"
+
+namespace htapex {
+
+const char* QueryPatternName(QueryPattern p) {
+  switch (p) {
+    case QueryPattern::kPointLookup:
+      return "point_lookup";
+    case QueryPattern::kSelectiveRange:
+      return "selective_range";
+    case QueryPattern::kJoinSmall:
+      return "join_small";
+    case QueryPattern::kJoinLarge:
+      return "join_large";
+    case QueryPattern::kJoinFunctionPred:
+      return "join_function_pred";
+    case QueryPattern::kTopNIndexed:
+      return "topn_indexed";
+    case QueryPattern::kTopNUnindexed:
+      return "topn_unindexed";
+    case QueryPattern::kTopNLargeOffset:
+      return "topn_large_offset";
+    case QueryPattern::kGroupByAggregate:
+      return "groupby_aggregate";
+    case QueryPattern::kExotic:
+      return "exotic";
+  }
+  return "?";
+}
+
+std::vector<QueryPattern> AllQueryPatterns() {
+  return {QueryPattern::kPointLookup,      QueryPattern::kSelectiveRange,
+          QueryPattern::kJoinSmall,        QueryPattern::kJoinLarge,
+          QueryPattern::kJoinFunctionPred, QueryPattern::kTopNIndexed,
+          QueryPattern::kTopNUnindexed,    QueryPattern::kTopNLargeOffset,
+          QueryPattern::kGroupByAggregate, QueryPattern::kExotic};
+}
+
+QueryGenerator::QueryGenerator(double stats_scale_factor, uint64_t seed)
+    : scale_(stats_scale_factor), rng_(seed) {}
+
+int64_t QueryGenerator::MaxKey(const std::string& table) const {
+  return tpch::RowCountAtScale(table, scale_);
+}
+
+namespace {
+
+std::string PhonePrefixList(Rng* rng, int count) {
+  std::vector<std::string> picked;
+  while (static_cast<int>(picked.size()) < count) {
+    std::string p = rng->Choice(tpch::kPhonePrefixes);
+    bool dup = false;
+    for (const auto& q : picked) dup = dup || q == p;
+    if (!dup) picked.push_back("'" + p + "'");
+  }
+  return Join(picked, ", ");
+}
+
+std::string RandomDate(Rng* rng) {
+  int64_t span = tpch::kMaxOrderDate - tpch::kMinOrderDate;
+  return FormatDate(tpch::kMinOrderDate + rng->Uniform(0, span * 3 / 4));
+}
+
+}  // namespace
+
+GeneratedQuery QueryGenerator::Generate(QueryPattern pattern, int variant) {
+  GeneratedQuery q;
+  q.pattern = pattern;
+  switch (pattern) {
+    case QueryPattern::kPointLookup: {
+      const char* variants[] = {
+          "SELECT c_name, c_acctbal FROM customer WHERE c_custkey = %lld",
+          "SELECT o_totalprice, o_orderstatus FROM orders WHERE o_orderkey = "
+          "%lld",
+          "SELECT p_name, p_retailprice FROM part WHERE p_partkey = %lld",
+          "SELECT s_name, s_acctbal FROM supplier WHERE s_suppkey = %lld"};
+      int v = variant >= 0 ? variant % 4 : static_cast<int>(rng_.Uniform(0, 3));
+      const char* tables[] = {"customer", "orders", "part", "supplier"};
+      int64_t key = rng_.Uniform(1, MaxKey(tables[v]));
+      q.sql = StrFormat(variants[v], static_cast<long long>(key));
+      break;
+    }
+    case QueryPattern::kSelectiveRange: {
+      int64_t lo = rng_.Uniform(1, MaxKey("customer") - 200);
+      int64_t width = rng_.Uniform(10, 150);
+      q.sql = StrFormat(
+          "SELECT c_name, c_acctbal FROM customer WHERE c_custkey BETWEEN "
+          "%lld AND %lld",
+          static_cast<long long>(lo), static_cast<long long>(lo + width));
+      break;
+    }
+    case QueryPattern::kJoinSmall: {
+      if (variant >= 0 ? variant % 2 == 0 : rng_.Bernoulli(0.5)) {
+        int64_t lo = rng_.Uniform(1, MaxKey("customer") - 100);
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = "
+            "c_custkey AND c_custkey BETWEEN %lld AND %lld",
+            static_cast<long long>(lo), static_cast<long long>(lo + 50));
+      } else {
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM nation, supplier WHERE s_nationkey = "
+            "n_nationkey AND n_name = '%s'",
+            rng_.Choice(tpch::kNations).c_str());
+      }
+      break;
+    }
+    case QueryPattern::kJoinLarge: {
+      int kind = variant >= 0 ? variant % 3 : static_cast<int>(rng_.Uniform(0, 2));
+      if (kind == 0) {
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM customer, nation, orders WHERE o_custkey = "
+            "c_custkey AND n_nationkey = c_nationkey AND n_name = '%s' AND "
+            "c_mktsegment = '%s' AND o_orderstatus = '%s'",
+            rng_.Choice(tpch::kNations).c_str(),
+            rng_.Choice(tpch::kMktSegments).c_str(),
+            rng_.Choice(tpch::kOrderStatus).c_str());
+      } else if (kind == 1) {
+        q.sql = StrFormat(
+            "SELECT COUNT(*), SUM(o_totalprice) FROM customer, orders WHERE "
+            "o_custkey = c_custkey AND c_mktsegment = '%s' AND o_orderdate >= "
+            "DATE '%s'",
+            rng_.Choice(tpch::kMktSegments).c_str(), RandomDate(&rng_).c_str());
+      } else {
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM supplier, nation, region WHERE s_nationkey "
+            "= n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s' "
+            "AND s_acctbal > %lld",
+            rng_.Choice(tpch::kRegions).c_str(),
+            static_cast<long long>(rng_.Uniform(0, 9000)));
+      }
+      break;
+    }
+    case QueryPattern::kJoinFunctionPred: {
+      int prefixes = static_cast<int>(rng_.Uniform(2, 8));
+      q.sql = StrFormat(
+          "SELECT COUNT(*) FROM customer, nation, orders WHERE "
+          "SUBSTRING(c_phone, 1, 2) IN (%s) AND c_mktsegment = '%s' AND "
+          "n_name = '%s' AND o_orderstatus = '%s' AND o_custkey = c_custkey "
+          "AND n_nationkey = c_nationkey",
+          PhonePrefixList(&rng_, prefixes).c_str(),
+          rng_.Choice(tpch::kMktSegments).c_str(),
+          rng_.Choice(tpch::kNations).c_str(),
+          rng_.Choice(tpch::kOrderStatus).c_str());
+      break;
+    }
+    case QueryPattern::kTopNIndexed: {
+      int64_t limit = rng_.Uniform(5, 100);
+      if (variant >= 0 ? variant % 2 == 0 : rng_.Bernoulli(0.5)) {
+        q.sql = StrFormat(
+            "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_orderkey "
+            "LIMIT %lld",
+            static_cast<long long>(limit));
+      } else {
+        q.sql = StrFormat(
+            "SELECT c_custkey, c_name FROM customer ORDER BY c_custkey LIMIT "
+            "%lld",
+            static_cast<long long>(limit));
+      }
+      break;
+    }
+    case QueryPattern::kTopNUnindexed: {
+      int64_t limit = rng_.Uniform(5, 100);
+      const char* desc = rng_.Bernoulli(0.5) ? " DESC" : "";
+      if (variant >= 0 ? variant % 2 == 0 : rng_.Bernoulli(0.5)) {
+        q.sql = StrFormat(
+            "SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderstatus "
+            "= '%s' ORDER BY o_totalprice%s, o_orderkey LIMIT %lld",
+            rng_.Choice(tpch::kOrderStatus).c_str(), desc,
+            static_cast<long long>(limit));
+      } else {
+        q.sql = StrFormat(
+            "SELECT c_custkey, c_acctbal FROM customer ORDER BY c_acctbal%s, "
+            "c_custkey LIMIT %lld",
+            desc, static_cast<long long>(limit));
+      }
+      break;
+    }
+    case QueryPattern::kTopNLargeOffset: {
+      int64_t limit = rng_.Uniform(10, 50);
+      int64_t offset = rng_.Uniform(MaxKey("orders") / 20, MaxKey("orders") / 4);
+      q.sql = StrFormat(
+          "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT %lld "
+          "OFFSET %lld",
+          static_cast<long long>(limit), static_cast<long long>(offset));
+      break;
+    }
+    case QueryPattern::kExotic: {
+      // Rare factor combinations, deliberately outside the 20-entry
+      // knowledge base's coverage (the paper's Section IV hypothesizes the
+      // small KB covers *common* patterns; these are the uncommon tail).
+      int kind = variant >= 0 ? variant % 4 : static_cast<int>(rng_.Uniform(0, 3));
+      if (kind == 0) {
+        // Function predicate combined with an unindexed top-N.
+        q.sql = StrFormat(
+            "SELECT s_name, s_acctbal FROM supplier WHERE "
+            "SUBSTRING(s_phone, 1, 2) = '%s' ORDER BY s_acctbal DESC, "
+            "s_suppkey LIMIT %lld",
+            rng_.Choice(tpch::kPhonePrefixes).c_str(),
+            static_cast<long long>(rng_.Uniform(5, 30)));
+      } else if (kind == 1) {
+        // Lineitem join + grouped top-N: no KB entry combines a join, a
+        // GROUP BY, and a LIMIT.
+        q.sql = StrFormat(
+            "SELECT l_suppkey, SUM(l_extendedprice) AS rev FROM lineitem, "
+            "orders WHERE l_orderkey = o_orderkey AND l_shipdate >= DATE "
+            "'%s' AND o_orderstatus = '%s' GROUP BY l_suppkey ORDER BY "
+            "l_suppkey LIMIT %lld",
+            RandomDate(&rng_).c_str(), rng_.Choice(tpch::kOrderStatus).c_str(),
+            static_cast<long long>(rng_.Uniform(5, 25)));
+      } else if (kind == 2) {
+        // Grouped aggregate with pagination.
+        q.sql = StrFormat(
+            "SELECT c_nationkey, COUNT(*) FROM customer GROUP BY c_nationkey "
+            "ORDER BY c_nationkey LIMIT %lld OFFSET %lld",
+            static_cast<long long>(rng_.Uniform(3, 10)),
+            static_cast<long long>(rng_.Uniform(5, 15)));
+      } else {
+        // Multi-attribute part lookup with IN lists.
+        q.sql = StrFormat(
+            "SELECT MIN(p_retailprice), MAX(p_retailprice) FROM part WHERE "
+            "p_size IN (%lld, %lld, %lld) AND p_container = '%s'",
+            static_cast<long long>(rng_.Uniform(1, 50)),
+            static_cast<long long>(rng_.Uniform(1, 50)),
+            static_cast<long long>(rng_.Uniform(1, 50)),
+            rng_.Choice(tpch::kPartContainers).c_str());
+      }
+      break;
+    }
+    case QueryPattern::kGroupByAggregate: {
+      if (variant >= 0 ? variant % 2 == 0 : rng_.Bernoulli(0.5)) {
+        q.sql = StrFormat(
+            "SELECT c_mktsegment, COUNT(*), AVG(o_totalprice) FROM customer, "
+            "orders WHERE o_custkey = c_custkey AND o_orderdate >= DATE '%s' "
+            "GROUP BY c_mktsegment ORDER BY c_mktsegment",
+            RandomDate(&rng_).c_str());
+      } else {
+        q.sql =
+            "SELECT n_name, COUNT(*) FROM nation, customer WHERE n_nationkey "
+            "= c_nationkey GROUP BY n_name ORDER BY n_name";
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+std::vector<GeneratedQuery> QueryGenerator::GenerateMix(int n) {
+  // Weights: joins and top-N dominate (the paper's two headline families);
+  // point/selective queries keep the TP side of the label distribution
+  // populated so the router has both classes to learn.
+  const std::vector<QueryPattern> patterns = AllQueryPatterns();
+  const std::vector<double> weights = {2.0, 1.5, 1.5, 2.5, 2.0,
+                                       1.5, 1.5, 1.0, 1.5, 2.2};
+  std::vector<GeneratedQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Generate(patterns[rng_.WeightedIndex(weights)]));
+  }
+  return out;
+}
+
+}  // namespace htapex

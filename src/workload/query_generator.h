@@ -1,0 +1,67 @@
+#ifndef HTAPEX_WORKLOAD_QUERY_GENERATOR_H_
+#define HTAPEX_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace htapex {
+
+/// Workload query patterns. The paper's knowledge base focuses on two
+/// families — join queries and top-N queries — which we refine into
+/// sub-patterns so the router and the retriever see varied performance
+/// behaviour (TP-winning point lookups through AP-winning wide joins).
+enum class QueryPattern {
+  kPointLookup,       // PK equality -> TP index probe wins
+  kSelectiveRange,    // narrow PK range -> TP wins
+  kJoinSmall,         // 2-table join, selective -> contested
+  kJoinLarge,         // 3-4 table join with filters -> AP hash joins win
+  kJoinFunctionPred,  // join with substring(c_phone) predicate (Example 1)
+  kTopNIndexed,       // ORDER BY indexed col ASC, small LIMIT -> TP streams
+  kTopNUnindexed,     // ORDER BY unindexed col [DESC] -> AP Top-N wins
+  kTopNLargeOffset,   // big OFFSET -> streaming advantage collapses
+  kGroupByAggregate,  // grouped aggregation over a join -> AP wins
+  kExotic,            // rare combinations the small KB does not cover
+};
+
+const char* QueryPatternName(QueryPattern p);
+/// All patterns, for enumeration in tests and benches.
+std::vector<QueryPattern> AllQueryPatterns();
+
+/// A generated query plus its provenance.
+struct GeneratedQuery {
+  std::string sql;
+  QueryPattern pattern;
+};
+
+/// Deterministic synthetic TPC-H query generator. Parameters (key ranges,
+/// nations, segments, limits, offsets, date windows) are drawn from the
+/// same domains the data generator uses, so predicates hit realistic
+/// fractions of the data.
+class QueryGenerator {
+ public:
+  /// `max_key_scale` should match the statistics scale factor so point
+  /// predicates land inside the key space the optimizers reason about.
+  explicit QueryGenerator(double stats_scale_factor, uint64_t seed = 99);
+
+  /// One query of the given pattern. `variant` >= 0 pins the structural
+  /// sub-shape (used to make the curated knowledge base cover every
+  /// variant); -1 draws it randomly.
+  GeneratedQuery Generate(QueryPattern pattern, int variant = -1);
+
+  /// A mixed workload: `n` queries drawn from all patterns with weights
+  /// matching the paper's emphasis (joins and top-N dominate).
+  std::vector<GeneratedQuery> GenerateMix(int n);
+
+ private:
+  int64_t MaxKey(const std::string& table) const;
+
+  double scale_;
+  Rng rng_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,82 @@
+#include "workload/tpch_queries.h"
+
+namespace htapex {
+
+const std::vector<TpchQuery>& AdaptedTpchQueries() {
+  static const std::vector<TpchQuery>* kQueries = new std::vector<TpchQuery>{
+      {"Q1", "Pricing summary report",
+       "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+       "SUM(l_extendedprice), SUM(l_extendedprice * (1 - l_discount)), "
+       "AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) "
+       "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+       "GROUP BY l_returnflag, l_linestatus "
+       "ORDER BY l_returnflag, l_linestatus",
+       "interval arithmetic folded into a constant date"},
+      {"Q3", "Shipping priority",
+       "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+       "revenue, o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'building' AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' "
+       "AND l_shipdate > DATE '1995-03-15' "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10",
+       "unchanged apart from lower-cased literals"},
+      {"Q4", "Order priority checking",
+       "SELECT o_orderpriority, COUNT(DISTINCT o_orderkey) "
+       "FROM orders, lineitem "
+       "WHERE l_orderkey = o_orderkey AND o_orderdate >= DATE '1993-07-01' "
+       "AND o_orderdate < DATE '1993-10-01' "
+       "AND l_commitdate < l_receiptdate "
+       "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+       "EXISTS subquery rewritten as a join with COUNT(DISTINCT orderkey)"},
+      {"Q5", "Local supplier volume",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'asia' AND o_orderdate >= DATE '1994-01-01' "
+       "AND o_orderdate < DATE '1995-01-01' "
+       "GROUP BY n_name ORDER BY revenue DESC",
+       "unchanged apart from lower-cased literals (6-table join)"},
+      {"Q6", "Revenue change forecast",
+       "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' "
+       "AND l_shipdate < DATE '1995-01-01' "
+       "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+       "unchanged"},
+      {"Q10", "Returned item reporting",
+       "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) "
+       "AS revenue, c_acctbal, n_name "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND o_orderdate >= DATE '1993-10-01' "
+       "AND o_orderdate < DATE '1994-01-01' AND l_returnflag = 'r' "
+       "AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, c_acctbal, n_name "
+       "ORDER BY revenue DESC, c_custkey LIMIT 20",
+       "address/phone/comment columns dropped from the group key; "
+       "deterministic tiebreak added to ORDER BY"},
+      {"Q12", "Shipping modes and order priority",
+       "SELECT l_shipmode, COUNT(*) FROM orders, lineitem "
+       "WHERE o_orderkey = l_orderkey AND l_shipmode IN ('mail', 'ship') "
+       "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+       "AND l_receiptdate >= DATE '1994-01-01' "
+       "AND l_receiptdate < DATE '1995-01-01' "
+       "GROUP BY l_shipmode ORDER BY l_shipmode",
+       "the CASE-based high/low priority split is reported as a single "
+       "count per ship mode"},
+      {"Q14", "Promotion effect",
+       "SELECT COUNT(*), SUM(l_extendedprice * (1 - l_discount)) "
+       "FROM lineitem, part "
+       "WHERE l_partkey = p_partkey AND p_type LIKE 'promo%' "
+       "AND l_shipdate >= DATE '1995-09-01' "
+       "AND l_shipdate < DATE '1995-10-01'",
+       "reports promo revenue directly instead of the promo/total ratio "
+       "(no CASE in this dialect)"},
+  };
+  return *kQueries;
+}
+
+}  // namespace htapex

@@ -1,0 +1,30 @@
+#ifndef HTAPEX_WORKLOAD_TPCH_QUERIES_H_
+#define HTAPEX_WORKLOAD_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace htapex {
+
+/// An adapted TPC-H benchmark query. The originals use SQL features outside
+/// this engine's dialect (subqueries, arithmetic over aggregates in
+/// projections, interval arithmetic); each adaptation preserves the query's
+/// *performance shape* — which tables it scans, how it joins, what it
+/// groups and orders by — which is what the explainer reasons about.
+struct TpchQuery {
+  std::string id;          // "Q1", "Q3", ...
+  std::string title;       // TPC-H's business-question name
+  std::string sql;         // adapted SQL
+  std::string adaptation;  // what was changed vs the official query
+};
+
+/// The adapted subset of the TPC-H suite expressible in this dialect:
+/// Q1 (pricing summary), Q3 (shipping priority), Q4 (order priority,
+/// join form), Q5 (local supplier volume), Q6 (revenue forecast),
+/// Q10 (returned items), Q12 (shipping modes), Q14 (promotion effect,
+/// join form).
+const std::vector<TpchQuery>& AdaptedTpchQueries();
+
+}  // namespace htapex
+
+#endif  // HTAPEX_WORKLOAD_TPCH_QUERIES_H_

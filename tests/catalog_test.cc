@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/tpch.h"
+#include "catalog/value.h"
+
+namespace htapex {
+namespace {
+
+TEST(ValueTest, CompareNumbers) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashEqualValuesEqualHashes) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::Str("egypt").Hash(), Value::Str("egypt").Hash());
+  EXPECT_NE(Value::Str("egypt").Hash(), Value::Str("france").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("p").ToString(), "'p'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(DateTest, RoundTrip) {
+  int64_t days = 0;
+  ASSERT_TRUE(ParseDate("1995-03-15", &days));
+  EXPECT_EQ(FormatDate(days), "1995-03-15");
+  ASSERT_TRUE(ParseDate("1992-01-01", &days));
+  EXPECT_EQ(FormatDate(days), "1992-01-01");
+  ASSERT_TRUE(ParseDate("2000-02-29", &days));  // leap year
+  EXPECT_EQ(FormatDate(days), "2000-02-29");
+}
+
+TEST(DateTest, RejectsBadDates) {
+  int64_t days = 0;
+  EXPECT_FALSE(ParseDate("1999-02-29", &days));
+  EXPECT_FALSE(ParseDate("1999-13-01", &days));
+  EXPECT_FALSE(ParseDate("hello", &days));
+}
+
+TEST(DateTest, Ordering) {
+  int64_t a = 0, b = 0;
+  ASSERT_TRUE(ParseDate("1994-01-01", &a));
+  ASSERT_TRUE(ParseDate("1994-06-30", &b));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - a, 180);
+}
+
+TEST(CatalogTest, AddAndLookupTable) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(TableSchema("t", {{"a", DataType::kInt}}, {"a"})).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  auto t = cat.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_columns(), 1u);
+  EXPECT_FALSE(cat.GetTable("missing").ok());
+  EXPECT_EQ(cat.AddTable(TableSchema("t", {{"a", DataType::kInt}}, {"a"})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, IndexManagement) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(TableSchema(
+                               "t", {{"a", DataType::kInt}, {"b", DataType::kString}}, {"a"}))
+                  .ok());
+  IndexDef idx{"i_b", "t", {"b"}, false, false};
+  ASSERT_TRUE(cat.AddIndex(idx).ok());
+  EXPECT_NE(cat.FindIndexOnColumn("t", "b"), nullptr);
+  EXPECT_EQ(cat.FindIndexOnColumn("t", "a"), nullptr);
+  EXPECT_EQ(cat.AddIndex(idx).code(), StatusCode::kAlreadyExists);
+  IndexDef bad{"i_c", "t", {"no_such"}, false, false};
+  EXPECT_EQ(cat.AddIndex(bad).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cat.DropIndex("i_b").ok());
+  EXPECT_EQ(cat.FindIndexOnColumn("t", "b"), nullptr);
+  EXPECT_EQ(cat.DropIndex("i_b").code(), StatusCode::kNotFound);
+}
+
+class TpchCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(tpch::BuildCatalog(&catalog_, 100.0).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(TpchCatalogTest, AllTablesPresent) {
+  for (const char* t : {"region", "nation", "supplier", "customer", "part",
+                        "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog_.HasTable(t)) << t;
+  }
+  EXPECT_EQ(catalog_.TableNames().size(), 8u);
+}
+
+TEST_F(TpchCatalogTest, RowCountsScale) {
+  EXPECT_EQ(catalog_.RowCount("nation"), 25);
+  EXPECT_EQ(catalog_.RowCount("region"), 5);
+  EXPECT_EQ(catalog_.RowCount("customer"), 15'000'000);
+  EXPECT_EQ(catalog_.RowCount("orders"), 150'000'000);
+  EXPECT_GT(catalog_.RowCount("lineitem"), 600'000'000);
+}
+
+TEST_F(TpchCatalogTest, PrimaryAndForeignKeyIndexes) {
+  const IndexDef* pk = catalog_.FindIndexOnColumn("customer", "c_custkey");
+  ASSERT_NE(pk, nullptr);
+  EXPECT_TRUE(pk->is_primary);
+  EXPECT_TRUE(pk->unique);
+  const IndexDef* fk = catalog_.FindIndexOnColumn("orders", "o_custkey");
+  ASSERT_NE(fk, nullptr);
+  EXPECT_FALSE(fk->is_primary);
+  // No index on c_phone by default (the paper adds one as user context).
+  EXPECT_EQ(catalog_.FindIndexOnColumn("customer", "c_phone"), nullptr);
+}
+
+TEST_F(TpchCatalogTest, StatsParallelToSchema) {
+  for (const auto& name : catalog_.TableNames()) {
+    auto schema = catalog_.GetTable(name);
+    auto stats = catalog_.GetStats(name);
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ((*schema)->num_columns(), (*stats)->columns.size()) << name;
+    EXPECT_GT((*stats)->avg_row_bytes, 0) << name;
+  }
+}
+
+TEST_F(TpchCatalogTest, ColumnStatDomains) {
+  auto stats = catalog_.GetStats("orders");
+  ASSERT_TRUE(stats.ok());
+  auto schema = catalog_.GetTable("orders");
+  int status_idx = (*schema)->ColumnIndex("o_orderstatus");
+  ASSERT_GE(status_idx, 0);
+  EXPECT_EQ((*stats)->columns[status_idx].ndv, 3);
+  int date_idx = (*schema)->ColumnIndex("o_orderdate");
+  ASSERT_GE(date_idx, 0);
+  EXPECT_EQ((*stats)->columns[date_idx].min.AsInt(), tpch::kMinOrderDate);
+  EXPECT_EQ((*stats)->columns[date_idx].max.AsInt(), tpch::kMaxOrderDate);
+}
+
+TEST(TpchScaleTest, FixedTablesDoNotScale) {
+  EXPECT_EQ(tpch::RowCountAtScale("nation", 100.0), 25);
+  EXPECT_EQ(tpch::RowCountAtScale("region", 0.01), 5);
+  EXPECT_EQ(tpch::RowCountAtScale("customer", 0.01), 1500);
+}
+
+TEST(TpchScaleTest, RejectsNonPositiveScale) {
+  Catalog cat;
+  EXPECT_FALSE(tpch::BuildCatalog(&cat, 0.0).ok());
+  EXPECT_FALSE(tpch::BuildCatalog(&cat, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace htapex

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/htap_explainer.h"
+
+namespace htapex {
+namespace {
+
+/// Deployment lifecycle: a trained router and a curated knowledge base are
+/// persisted, then loaded into a completely fresh explainer process, which
+/// must produce identical explanations — the "train once, serve anywhere"
+/// property a production rollout needs.
+TEST(DeploymentTest, PersistedStateReproducesExplanations) {
+  HtapConfig sys_config;
+  sys_config.data_scale_factor = 0.0;
+
+  std::string router_path = ::testing::TempDir() + "/router.bin";
+  std::string kb_path = ::testing::TempDir() + "/kb.json";
+  const char* sql =
+      "SELECT COUNT(*) FROM customer, nation, orders "
+      "WHERE o_custkey = c_custkey AND n_nationkey = c_nationkey "
+      "AND n_name = 'egypt' AND c_mktsegment = 'machinery' "
+      "AND o_orderstatus = 'p'";
+
+  std::string original_text;
+  ExplanationGrade original_grade;
+  {
+    HtapSystem system;
+    ASSERT_TRUE(system.Init(sys_config).ok());
+    HtapExplainer trainer(&system, ExplainerConfig{});
+    ASSERT_TRUE(trainer.TrainRouter().ok());
+    ASSERT_TRUE(trainer.BuildDefaultKnowledgeBase().ok());
+    auto result = trainer.Explain(sql);
+    ASSERT_TRUE(result.ok());
+    original_text = result->generation.text;
+    original_grade = result->grade.grade;
+    ASSERT_TRUE(trainer.router().Save(router_path).ok());
+    ASSERT_TRUE(trainer.knowledge_base().SaveJson(kb_path).ok());
+  }
+
+  // A fresh process: different seed, no training, everything from disk.
+  {
+    HtapSystem system;
+    ASSERT_TRUE(system.Init(sys_config).ok());
+    ExplainerConfig config;
+    config.seed = 12345;  // different seed: state must come from the files
+    HtapExplainer server(&system, config);
+    ASSERT_TRUE(server.mutable_router().Load(router_path).ok());
+    ASSERT_TRUE(server.mutable_knowledge_base().LoadJson(kb_path).ok());
+    EXPECT_EQ(server.knowledge_base().size(), 20u);
+    auto result = server.Explain(sql);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->generation.text, original_text);
+    EXPECT_EQ(result->grade.grade, original_grade);
+  }
+}
+
+TEST(DeploymentTest, RouterFileSurvivesRetrainComparison) {
+  HtapConfig sys_config;
+  sys_config.data_scale_factor = 0.0;
+  HtapSystem system;
+  ASSERT_TRUE(system.Init(sys_config).ok());
+  HtapExplainer a(&system, ExplainerConfig{});
+  ASSERT_TRUE(a.TrainRouter().ok());
+  std::string path = ::testing::TempDir() + "/router2.bin";
+  ASSERT_TRUE(a.router().Save(path).ok());
+
+  // Loading into a router of matching architecture reproduces decisions.
+  SmartRouter loaded(999);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  auto query = system.Bind("SELECT c_name FROM customer WHERE c_custkey = 3");
+  ASSERT_TRUE(query.ok());
+  auto plans = system.PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_DOUBLE_EQ(a.router().ApProbability(*plans),
+                   loaded.ApProbability(*plans));
+  EXPECT_EQ(a.router().Embed(*plans), loaded.Embed(*plans));
+}
+
+}  // namespace
+}  // namespace htapex

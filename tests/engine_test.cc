@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "engine/htap_system.h"
+
+namespace htapex {
+namespace {
+
+/// One shared system for all engine tests (init generates data, so build it
+/// once per process).
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.stats_scale_factor = 100.0;
+    config.data_scale_factor = 0.01;
+    ASSERT_TRUE(system_->Init(config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static HtapSystem* system_;
+};
+
+HtapSystem* EngineTest::system_ = nullptr;
+
+constexpr const char* kExample1 =
+    "SELECT COUNT(*) FROM customer, nation, orders "
+    "WHERE SUBSTRING(c_phone, 1, 2) IN ('20','40','22','30','39','42','21') "
+    "AND c_mktsegment = 'machinery' AND n_name = 'egypt' "
+    "AND o_orderstatus = 'p' AND o_custkey = c_custkey "
+    "AND n_nationkey = c_nationkey";
+
+TEST_F(EngineTest, Example1PlansHaveExpectedShapes) {
+  auto outcome = system_->RunQuery(kExample1);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // TP root: Group aggregate (as in Table II); AP root: Hash aggregate.
+  EXPECT_EQ(outcome->plans.tp.root->op, PlanOp::kGroupAggregate);
+  EXPECT_EQ(outcome->plans.ap.root->op, PlanOp::kHashAggregate);
+  // TP uses nested-loop style joins only; AP uses hash joins only.
+  std::string tp_text = outcome->plans.tp.Explain();
+  std::string ap_text = outcome->plans.ap.Explain();
+  EXPECT_NE(tp_text.find("nested loop"), std::string::npos);
+  EXPECT_EQ(tp_text.find("Hash join"), std::string::npos);
+  EXPECT_NE(ap_text.find("Hash join"), std::string::npos);
+  EXPECT_EQ(ap_text.find("loop"), std::string::npos);
+  EXPECT_NE(ap_text.find("Columnar scan"), std::string::npos);
+}
+
+TEST_F(EngineTest, Example1LatencyShapeMatchesPaper) {
+  auto outcome = system_->RunQuery(kExample1);
+  ASSERT_TRUE(outcome.ok());
+  // Paper: TP 5.80s, AP 310ms. Shape: AP wins by an order of magnitude,
+  // TP in seconds, AP in hundreds of milliseconds.
+  EXPECT_EQ(outcome->faster, EngineKind::kAp);
+  EXPECT_GT(outcome->tp_latency_ms, 2000.0);
+  EXPECT_LT(outcome->tp_latency_ms, 20000.0);
+  EXPECT_GT(outcome->ap_latency_ms, 50.0);
+  EXPECT_LT(outcome->ap_latency_ms, 1500.0);
+  EXPECT_GT(outcome->speedup(), 5.0);
+}
+
+TEST_F(EngineTest, PointLookupFavorsTp) {
+  auto outcome =
+      system_->RunQuery("SELECT c_name FROM customer WHERE c_custkey = 42");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->faster, EngineKind::kTp);
+  EXPECT_LT(outcome->tp_latency_ms, 5.0);           // index point lookup
+  EXPECT_GT(outcome->ap_latency_ms, 20.0);          // pays AP startup
+  ASSERT_TRUE(outcome->tp_result.has_value());
+  ASSERT_EQ(outcome->tp_result->rows.size(), 1u);
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsString(), "customer#000000042");
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, TpUsesIndexScanForPointLookup) {
+  auto query = system_->Bind("SELECT c_name FROM customer WHERE c_custkey = 7");
+  ASSERT_TRUE(query.ok());
+  auto plans = system_->PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  std::string tp_text = plans->tp.Explain();
+  EXPECT_NE(tp_text.find("Index Scan"), std::string::npos);
+  EXPECT_NE(tp_text.find("pk_customer"), std::string::npos);
+}
+
+TEST_F(EngineTest, FunctionDefeatsIndex) {
+  // Create an index on c_phone (the paper's user context), then check the
+  // substring predicate still cannot use it while a bare equality can.
+  IndexDef idx{"idx_c_phone", "customer", {"c_phone"}, false, false};
+  ASSERT_TRUE(system_->CreateIndex(idx).ok());
+  auto q1 = system_->Bind(
+      "SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) = '25'");
+  ASSERT_TRUE(q1.ok());
+  auto p1 = system_->PlanBoth(*q1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->tp.Explain().find("idx_c_phone"), std::string::npos)
+      << "substring over c_phone must not use the index";
+  auto q2 = system_->Bind(
+      "SELECT COUNT(*) FROM customer WHERE c_phone = '25-989-741-2988'");
+  ASSERT_TRUE(q2.ok());
+  auto p2 = system_->PlanBoth(*q2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p2->tp.Explain().find("idx_c_phone"), std::string::npos)
+      << "bare equality on c_phone should use the index";
+  ASSERT_TRUE(system_->DropIndex("idx_c_phone").ok());
+}
+
+TEST_F(EngineTest, CrossEngineResultsAgree) {
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'p'",
+      "SELECT n_name, COUNT(*) FROM nation, customer "
+      "WHERE n_nationkey = c_nationkey GROUP BY n_name",
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "WHERE o_totalprice > 100000 ORDER BY o_orderkey LIMIT 20",
+      "SELECT SUM(o_totalprice), AVG(o_totalprice), MIN(o_orderdate), "
+      "MAX(o_orderdate) FROM orders WHERE o_orderstatus = 'f'",
+      "SELECT c_mktsegment, COUNT(*) FROM customer "
+      "GROUP BY c_mktsegment ORDER BY c_mktsegment",
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND c_acctbal BETWEEN 0 AND 1000",
+      "SELECT COUNT(*) FROM customer WHERE c_name LIKE 'customer#0000001%'",
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 5 OFFSET 10",
+  };
+  for (const char* sql : queries) {
+    auto outcome = system_->RunQuery(sql);
+    ASSERT_TRUE(outcome.ok()) << sql << ": " << outcome.status();
+    EXPECT_TRUE(outcome->results_match) << sql;
+    ASSERT_TRUE(outcome->tp_result.has_value());
+  }
+}
+
+TEST_F(EngineTest, OrPredicatesAgreeAcrossEngines) {
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'p' OR "
+      "o_orderstatus = 'f'",
+      "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery' OR "
+      "c_acctbal < 0",
+      "SELECT COUNT(*) FROM customer WHERE NOT (c_mktsegment = 'building') "
+      "AND (c_nationkey = 4 OR c_nationkey = 7)",
+  };
+  for (const char* sql : queries) {
+    auto outcome = system_->RunQuery(sql);
+    ASSERT_TRUE(outcome.ok()) << sql << ": " << outcome.status();
+    EXPECT_TRUE(outcome->results_match) << sql;
+    EXPECT_GT(outcome->tp_result->rows[0][0].AsInt(), 0) << sql;
+  }
+}
+
+TEST_F(EngineTest, SelfJoinWithAliases) {
+  // Every nation pairs with the 5 nations of its region: 25 x 5 = 125.
+  auto outcome = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation a, nation b "
+      "WHERE a.n_regionkey = b.n_regionkey");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 125);
+  EXPECT_TRUE(outcome->results_match);
+  // Asymmetric predicate on one side only.
+  outcome = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation a, nation b "
+      "WHERE a.n_regionkey = b.n_regionkey AND a.n_name = 'egypt'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 5);
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, AggregatesMatchHandComputation) {
+  auto outcome = system_->RunQuery("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 25);
+  outcome = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation WHERE n_regionkey = 0");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 5);
+  outcome = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation, region WHERE n_regionkey = r_regionkey");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 25);
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, ScalarAggregateOnEmptyInput) {
+  auto outcome = system_->RunQuery(
+      "SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_custkey = -5");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->tp_result->rows.size(), 1u);
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(outcome->tp_result->rows[0][1].is_null());
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, OrderByDescLimit) {
+  auto outcome = system_->RunQuery(
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "ORDER BY o_totalprice DESC, o_orderkey LIMIT 3");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->tp_result->rows.size(), 3u);
+  EXPECT_GE(outcome->tp_result->rows[0][1].AsDouble(),
+            outcome->tp_result->rows[1][1].AsDouble());
+  EXPECT_TRUE(outcome->results_match);
+  // AP should use Top-N for ORDER BY + LIMIT.
+  EXPECT_NE(outcome->plans.ap.Explain().find("Top-N"), std::string::npos);
+}
+
+TEST_F(EngineTest, TopNByIndexOrderStreamsOnTp) {
+  auto outcome = system_->RunQuery(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10");
+  ASSERT_TRUE(outcome.ok());
+  // TP streams from the PK index and stops after 10 rows: much faster than
+  // AP, which scans everything into a Top-N heap plus startup.
+  EXPECT_EQ(outcome->faster, EngineKind::kTp);
+  EXPECT_LT(outcome->tp_latency_ms, 20.0);
+  std::string tp_text = outcome->plans.tp.Explain();
+  EXPECT_NE(tp_text.find("Index Scan"), std::string::npos);
+  EXPECT_NE(tp_text.find("Limit"), std::string::npos);
+  EXPECT_EQ(tp_text.find("'Node Type': 'Sort'"), std::string::npos);
+  ASSERT_EQ(outcome->tp_result->rows.size(), 10u);
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, DescTopNAlsoStreamsOnTp) {
+  auto outcome = system_->RunQuery(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC LIMIT 10");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // Backward index scan streams DESC order: TP wins here too.
+  EXPECT_EQ(outcome->faster, EngineKind::kTp);
+  std::string tp_text = outcome->plans.tp.Explain();
+  EXPECT_NE(tp_text.find("Index Scan"), std::string::npos);
+  EXPECT_EQ(tp_text.find("'Node Type': 'Sort'"), std::string::npos);
+  ASSERT_EQ(outcome->tp_result->rows.size(), 10u);
+  // Highest keys first.
+  EXPECT_GT(outcome->tp_result->rows[0][0].AsInt(),
+            outcome->tp_result->rows[9][0].AsInt());
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(EngineTest, LargeOffsetHurtsTpStreaming) {
+  auto small = system_->RunQuery(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10");
+  auto large = system_->RunQuery(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10 "
+      "OFFSET 1000000");
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->tp_latency_ms, small->tp_latency_ms * 10);
+}
+
+TEST_F(EngineTest, CostUnitsAreNotComparableAcrossEngines) {
+  // The point the paper's prompts hammer on: TP and AP costs live on
+  // different scales. For Example 1 the AP plan is ~16x faster yet its
+  // cost number is the same order of magnitude as TP's.
+  auto outcome = system_->RunQuery(kExample1);
+  ASSERT_TRUE(outcome.ok());
+  double tp_cost = outcome->plans.tp.root->total_cost;
+  double ap_cost = outcome->plans.ap.root->total_cost;
+  double cost_ratio = tp_cost / ap_cost;
+  double latency_ratio = outcome->tp_latency_ms / outcome->ap_latency_ms;
+  // Cost ratio does not track the latency ratio.
+  EXPECT_GT(latency_ratio / cost_ratio, 3.0);
+}
+
+TEST_F(EngineTest, ExecStatsRecordActualCardinalities) {
+  auto query = system_->Bind(
+      "SELECT COUNT(*) FROM nation WHERE n_regionkey = 0");
+  ASSERT_TRUE(query.ok());
+  auto plans = system_->PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  ExecStats stats;
+  auto result = system_->Execute(plans->tp, *query, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The root's recorded actual cardinality equals the result size.
+  auto it = stats.actual_rows.find(plans->tp.root.get());
+  ASSERT_NE(it, stats.actual_rows.end());
+  EXPECT_EQ(it->second, result->rows.size());
+  // Every recorded node belongs to this plan and has a sane count.
+  EXPECT_GE(stats.actual_rows.size(), 2u);
+  for (const auto& [node, rows] : stats.actual_rows) {
+    EXPECT_LE(rows, 25u) << PlanOpName(node->op);
+  }
+}
+
+TEST_F(EngineTest, BindErrorsPropagate) {
+  EXPECT_FALSE(system_->RunQuery("SELECT nope FROM customer").ok());
+  EXPECT_FALSE(system_->RunQuery("not sql at all").ok());
+}
+
+TEST_F(EngineTest, PlanOnlyModeRefusesExecution) {
+  HtapSystem plan_only;
+  HtapConfig config;
+  config.stats_scale_factor = 10.0;
+  config.data_scale_factor = 0.0;
+  ASSERT_TRUE(plan_only.Init(config).ok());
+  auto outcome = plan_only.RunQuery("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->tp_result.has_value());
+  EXPECT_GT(outcome->tp_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace htapex

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rag/kb_manager.h"
+
+namespace htapex {
+namespace {
+
+KbCandidate Candidate(std::vector<double> embedding, std::string sql) {
+  KbCandidate c;
+  c.embedding = std::move(embedding);
+  c.sql = std::move(sql);
+  return c;
+}
+
+TEST(KbManagerTest, SelectsOnePerCluster) {
+  // Three tight clusters; k=3 must pick one member from each.
+  std::vector<KbCandidate> candidates;
+  for (int cluster = 0; cluster < 3; ++cluster) {
+    for (int i = 0; i < 10; ++i) {
+      double base = cluster * 100.0;
+      candidates.push_back(Candidate(
+          {base + i * 0.01, base - i * 0.01},
+          "c" + std::to_string(cluster) + "_" + std::to_string(i)));
+    }
+  }
+  std::vector<int> picks = KbManager::SelectRepresentatives(candidates, 3, 5);
+  ASSERT_EQ(picks.size(), 3u);
+  std::set<int> clusters;
+  for (int p : picks) clusters.insert(p / 10);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(KbManagerTest, KLargerThanPoolReturnsAll) {
+  std::vector<KbCandidate> candidates = {Candidate({0, 0}, "a"),
+                                         Candidate({1, 1}, "b")};
+  auto picks = KbManager::SelectRepresentatives(candidates, 10);
+  EXPECT_EQ(picks.size(), 2u);
+  EXPECT_TRUE(KbManager::SelectRepresentatives({}, 5).empty());
+  EXPECT_TRUE(KbManager::SelectRepresentatives(candidates, 0).empty());
+}
+
+TEST(KbManagerTest, DeterministicForSeed) {
+  Rng rng(3);
+  std::vector<KbCandidate> candidates;
+  for (int i = 0; i < 50; ++i) {
+    candidates.push_back(
+        Candidate({rng.UniformReal(0, 10), rng.UniformReal(0, 10)},
+                  "q" + std::to_string(i)));
+  }
+  auto a = KbManager::SelectRepresentatives(candidates, 8, 7);
+  auto b = KbManager::SelectRepresentatives(candidates, 8, 7);
+  EXPECT_EQ(a, b);
+}
+
+KbEntry Entry(std::vector<double> embedding, std::string sql) {
+  KbEntry e;
+  e.embedding = std::move(embedding);
+  e.sql = std::move(sql);
+  e.expert_explanation = "x";
+  return e;
+}
+
+TEST(KbManagerTest, ExpiryKeepsFrequentlyUsedEntries) {
+  KnowledgeBase kb(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        kb.Insert(Entry({static_cast<double>(i), 0}, "q" + std::to_string(i)))
+            .ok());
+  }
+  // Heavily retrieve near entries 7, 8, 9.
+  for (int reps = 0; reps < 5; ++reps) {
+    for (double x : {7.0, 8.0, 9.0}) {
+      kb.Retrieve({x, 0}, 1);
+    }
+  }
+  EXPECT_EQ(kb.RetrievalHits(8), 5);
+  EXPECT_EQ(kb.RetrievalHits(0), 0);
+  auto removed = KbManager::ShrinkTo(&kb, 3);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 7);
+  EXPECT_EQ(kb.size(), 3u);
+  // The used entries survive.
+  EXPECT_NE(kb.Get(7), nullptr);
+  EXPECT_NE(kb.Get(8), nullptr);
+  EXPECT_NE(kb.Get(9), nullptr);
+  EXPECT_EQ(kb.Get(0), nullptr);
+}
+
+TEST(KbManagerTest, ExpiryTieBreaksByAge) {
+  KnowledgeBase kb(1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(kb.Insert(Entry({static_cast<double>(i)}, "q")).ok());
+  }
+  // No retrievals: all hits are 0, so the two oldest (ids 0, 1) go first.
+  auto stale = KbManager::SelectStale(kb, 2);
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_EQ(stale[0], 0);
+  EXPECT_EQ(stale[1], 1);
+}
+
+TEST(KbManagerTest, NoExpiryWhenAlreadySmall) {
+  KnowledgeBase kb(1);
+  kb.Insert(Entry({1}, "q")).status();
+  EXPECT_TRUE(KbManager::SelectStale(kb, 5).empty());
+  auto removed = KbManager::ShrinkTo(&kb, 5);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+}
+
+}  // namespace
+}  // namespace htapex

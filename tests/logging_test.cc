@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace htapex {
+namespace {
+
+TEST(LoggingTest, ThresholdGatesLevels) {
+  LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetGlobalLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  SetGlobalLogLevel(saved);
+}
+
+TEST(LoggingTest, MacroShortCircuitsWhenDisabled) {
+  LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  HTAPEX_LOG(Debug) << "never built: " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  HTAPEX_LOG(Error) << "built: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetGlobalLogLevel(saved);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace htapex

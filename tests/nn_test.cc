@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/tree_cnn.h"
+
+namespace htapex {
+namespace {
+
+PlanTreeFeatures RandomTree(Rng* rng, int nodes, int dim) {
+  PlanTreeFeatures t;
+  t.num_nodes = nodes;
+  t.feature_dim = dim;
+  t.x.resize(static_cast<size_t>(nodes * dim));
+  for (double& v : t.x) v = rng->UniformReal(0, 1);
+  t.left.assign(static_cast<size_t>(nodes), -1);
+  t.right.assign(static_cast<size_t>(nodes), -1);
+  // A left-deep chain with occasional right children (pre-order valid).
+  for (int i = 0; i + 1 < nodes; ++i) {
+    t.left[static_cast<size_t>(i)] = i + 1;
+  }
+  return t;
+}
+
+PairExample RandomExample(Rng* rng, int dim, int label) {
+  PairExample ex;
+  ex.tp = RandomTree(rng, static_cast<int>(rng->Uniform(2, 9)), dim);
+  ex.ap = RandomTree(rng, static_cast<int>(rng->Uniform(2, 9)), dim);
+  ex.label = label;
+  return ex;
+}
+
+TEST(TreeCnnPropertyTest, DeterministicInitialization) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn a(config), b(config);
+  Rng rng(1);
+  PairExample ex = RandomExample(&rng, 6, 0);
+  EXPECT_DOUBLE_EQ(a.PredictApFaster(ex.tp, ex.ap),
+                   b.PredictApFaster(ex.tp, ex.ap));
+  TreeCnn::Config other = config;
+  other.seed = 99;
+  TreeCnn c(other);
+  EXPECT_NE(a.PredictApFaster(ex.tp, ex.ap), c.PredictApFaster(ex.tp, ex.ap));
+}
+
+TEST(TreeCnnPropertyTest, BatchLossIsOrderInvariant) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  Rng rng(2);
+  std::vector<PairExample> data;
+  for (int i = 0; i < 6; ++i) data.push_back(RandomExample(&rng, 6, i % 2));
+  std::vector<const PairExample*> fwd, rev;
+  for (const auto& ex : data) fwd.push_back(&ex);
+  rev.assign(fwd.rbegin(), fwd.rend());
+  TreeCnn a(config), b(config);
+  double la = a.TrainBatch(fwd, 1e-3);
+  double lb = b.TrainBatch(rev, 1e-3);
+  EXPECT_NEAR(la, lb, 1e-9);
+}
+
+TEST(TreeCnnPropertyTest, OverfitsASingleExample) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  Rng rng(3);
+  PairExample ex = RandomExample(&rng, 6, 1);
+  double loss = 0;
+  for (int step = 0; step < 300; ++step) {
+    loss = cnn.TrainBatch({&ex}, 1e-2);
+  }
+  EXPECT_LT(loss, 0.01);
+  EXPECT_GT(cnn.PredictApFaster(ex.tp, ex.ap), 0.98);
+}
+
+TEST(TreeCnnPropertyTest, MemorizesRandomLabels) {
+  // Capacity check: a handful of random (tree, label) pairs are separable.
+  TreeCnn::Config config;
+  config.feature_dim = 8;
+  TreeCnn cnn(config);
+  Rng rng(4);
+  std::vector<PairExample> data;
+  for (int i = 0; i < 10; ++i) data.push_back(RandomExample(&rng, 8, i % 2));
+  std::vector<const PairExample*> batch;
+  for (const auto& ex : data) batch.push_back(&ex);
+  for (int step = 0; step < 500; ++step) cnn.TrainBatch(batch, 5e-3);
+  int correct = 0;
+  for (const auto& ex : data) {
+    int pred = cnn.PredictApFaster(ex.tp, ex.ap) >= 0.5 ? 1 : 0;
+    correct += pred == ex.label ? 1 : 0;
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(TreeCnnPropertyTest, EmbeddingIsNonNegativeAndRightSized) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  config.embed = 8;
+  TreeCnn cnn(config);
+  EXPECT_EQ(cnn.pair_embedding_dim(), 16);
+  Rng rng(5);
+  PairExample ex = RandomExample(&rng, 6, 0);
+  std::vector<double> z;
+  cnn.PredictApFaster(ex.tp, ex.ap, &z);
+  ASSERT_EQ(z.size(), 16u);
+  for (double v : z) EXPECT_GE(v, 0.0);  // post-ReLU
+}
+
+TEST(TreeCnnPropertyTest, ProbabilityIsWellFormed) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    PairExample ex = RandomExample(&rng, 6, 0);
+    double p = cnn.PredictApFaster(ex.tp, ex.ap);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST(TreeCnnPropertyTest, ParameterCountMatchesConfig) {
+  TreeCnn::Config config;
+  config.feature_dim = 10;
+  config.conv1 = 12;
+  config.conv2 = 14;
+  config.embed = 4;
+  TreeCnn cnn(config);
+  size_t expected = 3u * 10 * 12 + 12   // conv1 (self/left/right) + bias
+                    + 3u * 12 * 14 + 14 // conv2
+                    + 14u * 4 + 4       // dense embed
+                    + 8u * 2 + 2;       // output (2E -> 2)
+  EXPECT_EQ(cnn.NumParameters(), expected);
+  EXPECT_EQ(cnn.ByteSize(), expected * sizeof(float));
+}
+
+TEST(TreeCnnPropertyTest, SingleNodeTreesWork) {
+  TreeCnn::Config config;
+  config.feature_dim = 4;
+  TreeCnn cnn(config);
+  PlanTreeFeatures t;
+  t.num_nodes = 1;
+  t.feature_dim = 4;
+  t.x = {0.5, 0.2, 0.9, 0.0};
+  t.left = {-1};
+  t.right = {-1};
+  double p = cnn.PredictApFaster(t, t);
+  EXPECT_TRUE(std::isfinite(p));
+}
+
+}  // namespace
+}  // namespace htapex

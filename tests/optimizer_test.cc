@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "engine/htap_system.h"
+
+namespace htapex {
+namespace {
+
+/// Unit tests pinning the two optimizers' structural decisions.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.data_scale_factor = 0.0;
+    ASSERT_TRUE(system_->Init(config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  PlanPair Plans(const std::string& sql) {
+    auto query = system_->Bind(sql);
+    EXPECT_TRUE(query.ok()) << sql << ": " << query.status();
+    auto plans = system_->PlanBoth(*query);
+    EXPECT_TRUE(plans.ok()) << sql;
+    return std::move(*plans);
+  }
+
+  static const PlanNode* Find(const PlanNode& node, PlanOp op) {
+    if (node.op == op) return &node;
+    for (const auto& c : node.children) {
+      const PlanNode* f = Find(*c, op);
+      if (f != nullptr) return f;
+    }
+    return nullptr;
+  }
+
+  static HtapSystem* system_;
+};
+
+HtapSystem* OptimizerTest::system_ = nullptr;
+
+TEST_F(OptimizerTest, TpPrefersMostSelectiveIndex) {
+  // Both o_orderkey (PK, NDV=600M) and o_custkey (FK, NDV=10M) have
+  // indexes; the PK equality is far more selective and must win.
+  PlanPair plans = Plans(
+      "SELECT o_totalprice FROM orders WHERE o_orderkey = 77 "
+      "AND o_custkey = 12345");
+  const PlanNode* scan = Find(*plans.tp.root, PlanOp::kIndexScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->index_name, "pk_orders");
+  // The other predicate becomes a residual filter.
+  const PlanNode* filter = Find(*plans.tp.root, PlanOp::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_NE(filter->predicates[0]->ToString().find("o_custkey"),
+            std::string::npos);
+}
+
+TEST_F(OptimizerTest, TpSkipsIndexForUnselectivePredicate) {
+  // o_orderstatus has NDV 3 (selectivity 1/3 > 0.15): a full scan beats
+  // fetching a third of the table through the index.
+  PlanPair plans =
+      Plans("SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'p'");
+  EXPECT_EQ(Find(*plans.tp.root, PlanOp::kIndexScan), nullptr);
+  EXPECT_NE(Find(*plans.tp.root, PlanOp::kTableScan), nullptr);
+}
+
+TEST_F(OptimizerTest, TpJoinOrderStartsFromSmallestFilteredTable) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey "
+      "AND n_name = 'egypt'");
+  // Left-deep: the outer (first) leaf under the join chain is nation.
+  const PlanNode* join = Find(*plans.tp.root, PlanOp::kIndexNestedLoopJoin);
+  ASSERT_NE(join, nullptr);
+  const PlanNode* outer = join->children[0].get();
+  while (!outer->children.empty()) outer = outer->children[0].get();
+  EXPECT_EQ(outer->relation, "nation");
+}
+
+TEST_F(OptimizerTest, TpNeverUsesHashOperators) {
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+        "SELECT o_orderkey FROM orders ORDER BY o_totalprice, o_orderkey "
+        "LIMIT 5"}) {
+    PlanPair plans = Plans(sql);
+    EXPECT_EQ(Find(*plans.tp.root, PlanOp::kHashJoin), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.tp.root, PlanOp::kHashAggregate), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.tp.root, PlanOp::kColumnScan), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.tp.root, PlanOp::kTopN), nullptr) << sql;
+  }
+}
+
+TEST_F(OptimizerTest, ApNeverUsesRowStoreOperators) {
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+        "SELECT c_name FROM customer WHERE c_custkey = 42",
+        "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 5"}) {
+    PlanPair plans = Plans(sql);
+    EXPECT_EQ(Find(*plans.ap.root, PlanOp::kIndexScan), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.ap.root, PlanOp::kTableScan), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.ap.root, PlanOp::kNestedLoopJoin), nullptr) << sql;
+    EXPECT_EQ(Find(*plans.ap.root, PlanOp::kIndexNestedLoopJoin), nullptr)
+        << sql;
+    EXPECT_EQ(Find(*plans.ap.root, PlanOp::kGroupAggregate), nullptr) << sql;
+  }
+}
+
+TEST_F(OptimizerTest, ApProbeSideIsTheLargerInput) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey");
+  const PlanNode* join = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  // probe = children[0] (customer, 15M), build = children[1] (nation, 25).
+  const PlanNode* probe = join->children[0].get();
+  const PlanNode* build = join->children[1].get();
+  EXPECT_EQ(probe->relation, "customer");
+  EXPECT_EQ(build->relation, "nation");
+  EXPECT_GT(probe->estimated_rows, build->estimated_rows);
+}
+
+TEST_F(OptimizerTest, ApScanReadsOnlyReferencedColumns) {
+  PlanPair plans = Plans(
+      "SELECT c_name FROM customer WHERE c_mktsegment = 'machinery'");
+  const PlanNode* scan = Find(*plans.ap.root, PlanOp::kColumnScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->columns_read.size(), 2u);  // c_name + c_mktsegment
+}
+
+TEST_F(OptimizerTest, ResidualJoinPredicateLandsOnJoin) {
+  // Second equi-join between the same pair becomes a join-level filter.
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_orderkey = c_custkey");
+  const PlanNode* tp_join = Find(*plans.tp.root, PlanOp::kIndexNestedLoopJoin);
+  if (tp_join == nullptr) tp_join = Find(*plans.tp.root, PlanOp::kNestedLoopJoin);
+  ASSERT_NE(tp_join, nullptr);
+  EXPECT_FALSE(tp_join->predicates.empty());
+  const PlanNode* ap_join = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(ap_join, nullptr);
+  EXPECT_FALSE(ap_join->predicates.empty());
+}
+
+TEST_F(OptimizerTest, DisconnectedTablesCrossJoin) {
+  PlanPair plans = Plans("SELECT COUNT(*) FROM nation, region");
+  // No join predicate: both engines still produce a (cross) join plan.
+  bool tp_has_join =
+      Find(*plans.tp.root, PlanOp::kNestedLoopJoin) != nullptr ||
+      Find(*plans.tp.root, PlanOp::kIndexNestedLoopJoin) != nullptr;
+  EXPECT_TRUE(tp_has_join);
+  const PlanNode* ap_join = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(ap_join, nullptr);
+  EXPECT_EQ(ap_join->left_key, nullptr);
+  EXPECT_NEAR(ap_join->estimated_rows, 125.0, 1.0);  // 25 x 5
+}
+
+TEST_F(OptimizerTest, CostsGrowWithInputSize) {
+  PlanPair small = Plans("SELECT COUNT(*) FROM nation");
+  PlanPair large = Plans("SELECT COUNT(*) FROM orders");
+  EXPECT_LT(small.tp.root->total_cost, large.tp.root->total_cost);
+  EXPECT_LT(small.ap.root->total_cost, large.ap.root->total_cost);
+}
+
+}  // namespace
+}  // namespace htapex

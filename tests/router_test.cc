@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "engine/htap_system.h"
+#include "router/smart_router.h"
+#include "workload/query_generator.h"
+
+namespace htapex {
+namespace {
+
+TEST(FeaturizerTest, Example1Shapes) {
+  HtapSystem system;
+  HtapConfig config;
+  config.data_scale_factor = 0.0;  // plan-only
+  ASSERT_TRUE(system.Init(config).ok());
+  auto query = system.Bind(
+      "SELECT COUNT(*) FROM customer, nation, orders WHERE o_custkey = "
+      "c_custkey AND n_nationkey = c_nationkey AND n_name = 'egypt'");
+  ASSERT_TRUE(query.ok());
+  auto plans = system.PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  PlanTreeFeatures tp = FeaturizePlan(plans->tp);
+  EXPECT_EQ(tp.feature_dim, kPlanFeatureDim);
+  EXPECT_EQ(tp.num_nodes, plans->tp.root->TreeSize());
+  EXPECT_EQ(static_cast<int>(tp.x.size()), tp.num_nodes * kPlanFeatureDim);
+  // Pre-order: node 0 is the root with a valid left child.
+  EXPECT_EQ(tp.left[0], 1);
+  // Each node has exactly one one-hot operator bit set.
+  for (int i = 0; i < tp.num_nodes; ++i) {
+    double sum = 0;
+    for (int f = 0; f < 14; ++f) sum += tp.at(i, f);
+    EXPECT_DOUBLE_EQ(sum, 1.0) << "node " << i;
+  }
+  // Child links are in range and acyclic (child index > parent in pre-order).
+  for (int i = 0; i < tp.num_nodes; ++i) {
+    if (tp.left[static_cast<size_t>(i)] >= 0) {
+      EXPECT_GT(tp.left[static_cast<size_t>(i)], i);
+      EXPECT_LT(tp.left[static_cast<size_t>(i)], tp.num_nodes);
+    }
+    if (tp.right[static_cast<size_t>(i)] >= 0) {
+      EXPECT_GT(tp.right[static_cast<size_t>(i)], i);
+      EXPECT_LT(tp.right[static_cast<size_t>(i)], tp.num_nodes);
+    }
+  }
+}
+
+TEST(TreeCnnTest, LearnsToySeparation) {
+  // Two synthetic tree shapes with distinct features must be separable.
+  TreeCnn::Config config;
+  config.feature_dim = 4;
+  TreeCnn cnn(config);
+  auto make = [&](double marker, int label) {
+    PairExample ex;
+    for (PlanTreeFeatures* p : {&ex.tp, &ex.ap}) {
+      p->num_nodes = 3;
+      p->feature_dim = 4;
+      p->x = {marker, 1 - marker, 0.5, 0.1,  //
+              0.2,    marker,     0.3, 0.9,  //
+              marker, 0.4,        0.7, 0.2};
+      p->left = {1, -1, -1};
+      p->right = {2, -1, -1};
+    }
+    ex.label = label;
+    return ex;
+  };
+  std::vector<PairExample> data;
+  for (int i = 0; i < 8; ++i) {
+    data.push_back(make(1.0, 1));
+    data.push_back(make(0.0, 0));
+  }
+  std::vector<const PairExample*> batch;
+  for (const auto& ex : data) batch.push_back(&ex);
+  double first_loss = cnn.TrainBatch(batch, 1e-2);
+  double last_loss = first_loss;
+  for (int step = 0; step < 200; ++step) {
+    last_loss = cnn.TrainBatch(batch, 1e-2);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2);
+  EXPECT_GT(cnn.PredictApFaster(data[0].tp, data[0].ap), 0.9);
+  EXPECT_LT(cnn.PredictApFaster(data[1].tp, data[1].ap), 0.1);
+}
+
+TEST(TreeCnnTest, SaveLoadRoundTrip) {
+  TreeCnn::Config config;
+  config.feature_dim = kPlanFeatureDim;
+  TreeCnn a(config);
+  PlanTreeFeatures plan;
+  plan.num_nodes = 2;
+  plan.feature_dim = kPlanFeatureDim;
+  plan.x.assign(2 * kPlanFeatureDim, 0.3);
+  plan.left = {1, -1};
+  plan.right = {-1, -1};
+  double before = a.PredictApFaster(plan, plan);
+  std::string path = ::testing::TempDir() + "/tree_cnn_model.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  TreeCnn b(config);
+  ASSERT_TRUE(b.Load(path).ok());
+  EXPECT_DOUBLE_EQ(b.PredictApFaster(plan, plan), before);
+  // Mismatched dimensions are rejected.
+  TreeCnn::Config other = config;
+  other.conv1 = 16;
+  TreeCnn c(other);
+  EXPECT_FALSE(c.Load(path).ok());
+}
+
+class RouterTrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.data_scale_factor = 0.0;  // plan-only: labels from latency model
+    ASSERT_TRUE(system_->Init(config).ok());
+
+    QueryGenerator gen(config.stats_scale_factor, /*seed=*/1234);
+    train_ = new std::vector<PairExample>();
+    test_ = new std::vector<PairExample>();
+    auto queries = gen.GenerateMix(320);
+    int i = 0;
+    for (const auto& gq : queries) {
+      auto bound = system_->Bind(gq.sql);
+      ASSERT_TRUE(bound.ok()) << gq.sql << ": " << bound.status();
+      auto plans = system_->PlanBoth(*bound);
+      ASSERT_TRUE(plans.ok()) << gq.sql;
+      EngineKind faster = system_->LatencyMs(plans->tp) <=
+                                  system_->LatencyMs(plans->ap)
+                              ? EngineKind::kTp
+                              : EngineKind::kAp;
+      SmartRouter featurizer_only(1);
+      PairExample ex = featurizer_only.MakeExample(*plans, faster);
+      (++i % 5 == 0 ? test_ : train_)->push_back(std::move(ex));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete train_;
+    delete test_;
+  }
+  static HtapSystem* system_;
+  static std::vector<PairExample>* train_;
+  static std::vector<PairExample>* test_;
+};
+
+HtapSystem* RouterTrainingTest::system_ = nullptr;
+std::vector<PairExample>* RouterTrainingTest::train_ = nullptr;
+std::vector<PairExample>* RouterTrainingTest::test_ = nullptr;
+
+TEST_F(RouterTrainingTest, LabelsHaveBothClasses) {
+  int ap = 0;
+  for (const auto& ex : *train_) ap += ex.label;
+  EXPECT_GT(ap, static_cast<int>(train_->size()) / 10);
+  EXPECT_LT(ap, static_cast<int>(train_->size()) * 9 / 10);
+}
+
+TEST_F(RouterTrainingTest, RouterReachesHighAccuracy) {
+  SmartRouter router(7);
+  RouterTrainStats stats = router.Train(*train_, /*epochs=*/60);
+  // The paper: "the router achieves high accuracy in identifying the more
+  // efficient plan".
+  EXPECT_GT(stats.train_accuracy, 0.93) << "loss=" << stats.final_loss;
+  EXPECT_GT(router.EvaluateAccuracy(*test_), 0.85);
+}
+
+TEST_F(RouterTrainingTest, ModelIsLightweight) {
+  SmartRouter router(7);
+  // Paper: model < 1 MB, inference ~1 ms.
+  EXPECT_LT(router.model_bytes(), 1u << 20);
+  const PairExample& ex = (*train_)[0];
+  PlanPair dummy;  // inference goes through featurized trees directly
+  (void)dummy;
+  WallTimer timer;
+  constexpr int kReps = 100;
+  double acc = 0;
+  for (int i = 0; i < kReps; ++i) {
+    acc += router.EvaluateAccuracy({ex});
+  }
+  double per_inference_ms = timer.ElapsedMillis() / kReps;
+  EXPECT_LT(per_inference_ms, 5.0);
+  (void)acc;
+}
+
+TEST_F(RouterTrainingTest, EmbeddingsAre16DimAndDiscriminative) {
+  SmartRouter router(7);
+  router.Train(*train_, 60);
+  EXPECT_EQ(router.embedding_dim(), 16);  // the paper's 16-dim pair encoding
+  // Embeddings of same-label pairs should be closer on average than
+  // opposite-label pairs (the property RAG retrieval relies on).
+  auto dist = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0;
+    for (size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+  };
+  std::vector<std::vector<double>> embeddings;
+  std::vector<int> labels;
+  for (size_t i = 0; i < train_->size() && i < 60; ++i) {
+    const PairExample& ex = (*train_)[i];
+    std::vector<double> e = router.EmbedFeatures(ex.tp, ex.ap);
+    ASSERT_EQ(e.size(), 16u);
+    embeddings.push_back(std::move(e));
+    labels.push_back(ex.label);
+  }
+  double same_sum = 0, diff_sum = 0;
+  int same_n = 0, diff_n = 0;
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    for (size_t j = i + 1; j < embeddings.size(); ++j) {
+      double d = dist(embeddings[i], embeddings[j]);
+      if (labels[i] == labels[j]) {
+        same_sum += d;
+        ++same_n;
+      } else {
+        diff_sum += d;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same_sum / same_n, diff_sum / diff_n);
+}
+
+TEST_F(RouterTrainingTest, DeterministicForFixedSeed) {
+  SmartRouter a(11), b(11);
+  a.Train(*train_, 10);
+  b.Train(*train_, 10);
+  EXPECT_DOUBLE_EQ(a.EvaluateAccuracy(*test_), b.EvaluateAccuracy(*test_));
+}
+
+}  // namespace
+}  // namespace htapex

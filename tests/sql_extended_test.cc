@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "engine/htap_system.h"
+
+namespace htapex {
+namespace {
+
+/// HAVING / IS NULL / DISTINCT aggregate coverage, executed for real on
+/// both engines with results cross-checked.
+class SqlExtendedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.stats_scale_factor = 0.02;
+    config.data_scale_factor = 0.02;
+    ASSERT_TRUE(system_->Init(config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static HtapSystem* system_;
+};
+
+HtapSystem* SqlExtendedTest::system_ = nullptr;
+
+TEST_F(SqlExtendedTest, HavingFiltersGroups) {
+  // Regions have 5 nations each; HAVING COUNT(*) > 4 keeps all, > 5 none.
+  auto all = system_->RunQuery(
+      "SELECT n_regionkey, COUNT(*) FROM nation GROUP BY n_regionkey "
+      "HAVING COUNT(*) > 4 ORDER BY n_regionkey");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->tp_result->rows.size(), 5u);
+  EXPECT_TRUE(all->results_match);
+
+  auto none = system_->RunQuery(
+      "SELECT n_regionkey, COUNT(*) FROM nation GROUP BY n_regionkey "
+      "HAVING COUNT(*) > 5");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->tp_result->rows.size(), 0u);
+  EXPECT_TRUE(none->results_match);
+}
+
+TEST_F(SqlExtendedTest, HavingWithGroupKeyPredicate) {
+  auto outcome = system_->RunQuery(
+      "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment "
+      "HAVING c_mktsegment = 'machinery'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->tp_result->rows.size(), 1u);
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsString(), "machinery");
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(SqlExtendedTest, HavingValidation) {
+  // HAVING without GROUP BY is rejected.
+  EXPECT_FALSE(
+      system_->RunQuery("SELECT COUNT(*) FROM nation HAVING COUNT(*) > 1")
+          .ok());
+  // HAVING over a non-grouped column is rejected.
+  EXPECT_FALSE(system_
+                   ->RunQuery("SELECT n_regionkey, COUNT(*) FROM nation "
+                              "GROUP BY n_regionkey HAVING n_name = 'egypt'")
+                   .ok());
+}
+
+TEST_F(SqlExtendedTest, IsNullPredicates) {
+  // Generated TPC-H data has no NULLs, so IS NULL selects nothing and
+  // IS NOT NULL selects everything.
+  auto nulls = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation WHERE n_comment IS NULL");
+  ASSERT_TRUE(nulls.ok()) << nulls.status();
+  EXPECT_EQ(nulls->tp_result->rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(nulls->results_match);
+  auto not_nulls = system_->RunQuery(
+      "SELECT COUNT(*) FROM nation WHERE n_comment IS NOT NULL");
+  ASSERT_TRUE(not_nulls.ok());
+  EXPECT_EQ(not_nulls->tp_result->rows[0][0].AsInt(), 25);
+  EXPECT_TRUE(not_nulls->results_match);
+}
+
+TEST_F(SqlExtendedTest, IsNullOverAggregate) {
+  // SUM over an empty filter yields NULL; HAVING SUM(...) IS NULL keeps it.
+  auto outcome = system_->RunQuery(
+      "SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_custkey = -1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->tp_result->rows[0][1].is_null());
+}
+
+TEST_F(SqlExtendedTest, CountDistinct) {
+  auto outcome = system_->RunQuery(
+      "SELECT COUNT(DISTINCT n_regionkey), COUNT(n_regionkey) FROM nation");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 5);   // 5 regions
+  EXPECT_EQ(outcome->tp_result->rows[0][1].AsInt(), 25);  // 25 nations
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(SqlExtendedTest, CountDistinctPerGroup) {
+  auto outcome = system_->RunQuery(
+      "SELECT c_mktsegment, COUNT(DISTINCT c_nationkey) FROM customer "
+      "GROUP BY c_mktsegment ORDER BY c_mktsegment");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->tp_result->rows.size(), 5u);
+  for (const Row& row : outcome->tp_result->rows) {
+    // Each segment has customers from (almost) all 25 nations at this scale.
+    EXPECT_GT(row[1].AsInt(), 20);
+    EXPECT_LE(row[1].AsInt(), 25);
+  }
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(SqlExtendedTest, SumDistinctIgnoresDuplicates) {
+  // n_regionkey values are 0..4, five times each: SUM = 50, SUM(DISTINCT)=10.
+  auto outcome = system_->RunQuery(
+      "SELECT SUM(n_regionkey), SUM(DISTINCT n_regionkey) FROM nation");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->tp_result->rows[0][0].AsInt(), 50);
+  EXPECT_EQ(outcome->tp_result->rows[0][1].AsInt(), 10);
+  EXPECT_TRUE(outcome->results_match);
+}
+
+TEST_F(SqlExtendedTest, HavingAppearsAsFilterAboveAggregation) {
+  auto query = system_->Bind(
+      "SELECT n_regionkey, COUNT(*) FROM nation GROUP BY n_regionkey "
+      "HAVING COUNT(*) > 2");
+  ASSERT_TRUE(query.ok());
+  auto plans = system_->PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  // Both engines: root (or below project) contains Filter over aggregate.
+  for (const PhysicalPlan* plan : {&plans->tp, &plans->ap}) {
+    std::string text = plan->Explain();
+    EXPECT_NE(text.find("'Node Type': 'Filter'"), std::string::npos);
+    EXPECT_NE(text.find("COUNT(*) > 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace htapex

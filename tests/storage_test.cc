@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "catalog/tpch.h"
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/column_store.h"
+#include "storage/datagen.h"
+#include "storage/row_store.h"
+
+namespace htapex {
+namespace {
+
+TEST(BTreeTest, InsertAndPointLookup) {
+  BTreeIndex idx;
+  for (int i = 0; i < 1000; ++i) {
+    idx.Insert(Value::Int(i * 2), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(idx.num_entries(), 1000u);
+  auto hits = idx.PointLookup(Value::Int(500));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 250u);
+  EXPECT_TRUE(idx.PointLookup(Value::Int(501)).empty());
+  EXPECT_GT(idx.height(), 1);
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BTreeIndex idx;
+  // Many duplicates so they straddle leaf splits.
+  for (uint32_t i = 0; i < 500; ++i) idx.Insert(Value::Int(7), i);
+  for (uint32_t i = 500; i < 600; ++i) idx.Insert(Value::Int(9), i);
+  auto hits = idx.PointLookup(Value::Int(7));
+  EXPECT_EQ(hits.size(), 500u);
+  std::set<uint32_t> unique(hits.begin(), hits.end());
+  EXPECT_EQ(unique.size(), 500u);
+  EXPECT_EQ(idx.PointLookup(Value::Int(9)).size(), 100u);
+  EXPECT_TRUE(idx.PointLookup(Value::Int(8)).empty());
+}
+
+TEST(BTreeTest, RangeScanOrdered) {
+  BTreeIndex idx;
+  Rng rng(5);
+  std::vector<int64_t> keys;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    int64_t k = rng.Uniform(0, 10000);
+    keys.push_back(k);
+    idx.Insert(Value::Int(k), i);
+  }
+  std::vector<int64_t> visited;
+  idx.RangeScan(nullptr, true, nullptr, true,
+                [&](const Value& k, uint32_t) {
+                  visited.push_back(k.AsInt());
+                  return true;
+                });
+  EXPECT_EQ(visited.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+TEST(BTreeTest, RangeScanBounds) {
+  BTreeIndex idx;
+  for (uint32_t i = 0; i <= 100; ++i) idx.Insert(Value::Int(i), i);
+  Value lo = Value::Int(10), hi = Value::Int(20);
+  std::vector<int64_t> got;
+  idx.RangeScan(&lo, true, &hi, true, [&](const Value& k, uint32_t) {
+    got.push_back(k.AsInt());
+    return true;
+  });
+  ASSERT_EQ(got.size(), 11u);
+  EXPECT_EQ(got.front(), 10);
+  EXPECT_EQ(got.back(), 20);
+  got.clear();
+  idx.RangeScan(&lo, false, &hi, false, [&](const Value& k, uint32_t) {
+    got.push_back(k.AsInt());
+    return true;
+  });
+  ASSERT_EQ(got.size(), 9u);
+  EXPECT_EQ(got.front(), 11);
+  EXPECT_EQ(got.back(), 19);
+}
+
+TEST(BTreeTest, RangeScanEarlyStopForLimit) {
+  BTreeIndex idx;
+  for (uint32_t i = 0; i < 1000; ++i) idx.Insert(Value::Int(i), i);
+  int count = 0;
+  idx.RangeScan(nullptr, true, nullptr, true, [&](const Value&, uint32_t) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTreeTest, FullScanDescReversesAscOrder) {
+  BTreeIndex idx;
+  Rng rng(8);
+  for (uint32_t i = 0; i < 3000; ++i) {
+    idx.Insert(Value::Int(rng.Uniform(0, 5000)), i);
+  }
+  std::vector<std::pair<int64_t, uint32_t>> asc, desc;
+  idx.FullScan([&](const Value& k, uint32_t r) {
+    asc.emplace_back(k.AsInt(), r);
+    return true;
+  });
+  idx.FullScanDesc([&](const Value& k, uint32_t r) {
+    desc.emplace_back(k.AsInt(), r);
+    return true;
+  });
+  ASSERT_EQ(asc.size(), desc.size());
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(asc, desc);
+}
+
+TEST(BTreeTest, FullScanDescEarlyStop) {
+  BTreeIndex idx;
+  for (uint32_t i = 0; i < 500; ++i) idx.Insert(Value::Int(i), i);
+  std::vector<int64_t> got;
+  idx.FullScanDesc([&](const Value& k, uint32_t) {
+    got.push_back(k.AsInt());
+    return got.size() < 3;
+  });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 499);
+  EXPECT_EQ(got[2], 497);
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTreeIndex idx;
+  std::vector<std::string> names = {"egypt", "france", "algeria", "japan"};
+  for (uint32_t i = 0; i < names.size(); ++i) {
+    idx.Insert(Value::Str(names[i]), i);
+  }
+  auto hits = idx.PointLookup(Value::Str("egypt"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(tpch::BuildCatalog(&catalog_, 0.01).ok()); }
+  Catalog catalog_;
+  TpchDataGenerator gen_{0.01};
+};
+
+TEST_F(DatagenTest, RowCountsMatchScale) {
+  auto customer = gen_.Generate("customer");
+  ASSERT_TRUE(customer.ok());
+  EXPECT_EQ(customer->num_rows(), 1500u);
+  auto nation = gen_.Generate("nation");
+  ASSERT_TRUE(nation.ok());
+  EXPECT_EQ(nation->num_rows(), 25u);
+  EXPECT_FALSE(gen_.Generate("bogus").ok());
+}
+
+TEST_F(DatagenTest, Deterministic) {
+  TpchDataGenerator g1(0.01), g2(0.01);
+  auto a = g1.Generate("customer");
+  auto b = g2.Generate("customer");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); i += 100) {
+    for (size_t c = 0; c < a->rows[i].size(); ++c) {
+      EXPECT_EQ(a->rows[i][c].Compare(b->rows[i][c]), 0);
+    }
+  }
+}
+
+TEST_F(DatagenTest, PhonePrefixEncodesNation) {
+  auto customer = gen_.Generate("customer");
+  ASSERT_TRUE(customer.ok());
+  auto schema = catalog_.GetTable("customer");
+  int nk = (*schema)->ColumnIndex("c_nationkey");
+  int ph = (*schema)->ColumnIndex("c_phone");
+  for (size_t i = 0; i < customer->num_rows(); i += 37) {
+    const Row& row = customer->rows[i];
+    int64_t nation = row[static_cast<size_t>(nk)].AsInt();
+    const std::string& phone = row[static_cast<size_t>(ph)].AsString();
+    EXPECT_EQ(phone.substr(0, 2), std::to_string(10 + nation));
+  }
+}
+
+TEST_F(DatagenTest, OrderStatusSkew) {
+  auto orders = gen_.Generate("orders");
+  ASSERT_TRUE(orders.ok());
+  int p_count = 0;
+  for (const Row& row : orders->rows) {
+    if (row[2].AsString() == "p") ++p_count;
+  }
+  double frac = static_cast<double>(p_count) / static_cast<double>(orders->num_rows());
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.06);  // 'p' is rare, ~2.6%
+}
+
+TEST_F(DatagenTest, LineitemForeignKeysValid) {
+  auto orders = gen_.Generate("orders");
+  auto lineitem = gen_.Generate("lineitem");
+  ASSERT_TRUE(orders.ok() && lineitem.ok());
+  std::set<int64_t> order_keys;
+  for (const Row& r : orders->rows) order_keys.insert(r[0].AsInt());
+  for (size_t i = 0; i < lineitem->num_rows(); i += 53) {
+    EXPECT_TRUE(order_keys.count(lineitem->rows[i][0].AsInt()) > 0);
+  }
+  EXPECT_GE(lineitem->num_rows(), orders->num_rows());
+}
+
+TEST_F(DatagenTest, RowStoreLoadAndIndex) {
+  RowStore store;
+  auto customer = gen_.Generate("customer");
+  ASSERT_TRUE(customer.ok());
+  ASSERT_TRUE(store.LoadTable(catalog_, std::move(*customer)).ok());
+  EXPECT_EQ(store.RowCount("customer"), 1500u);
+  // PK index was built automatically.
+  const BTreeIndex* pk = store.GetIndex("pk_customer");
+  ASSERT_NE(pk, nullptr);
+  auto hits = pk->PointLookup(Value::Int(42));
+  ASSERT_EQ(hits.size(), 1u);
+  auto table = store.GetTable("customer");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->rows[hits[0]][0].AsInt(), 42);
+}
+
+TEST_F(DatagenTest, RowStoreUserIndexBuiltLater) {
+  RowStore store;
+  auto customer = gen_.Generate("customer");
+  ASSERT_TRUE(customer.ok());
+  ASSERT_TRUE(store.LoadTable(catalog_, std::move(*customer)).ok());
+  EXPECT_EQ(store.GetIndex("idx_c_phone"), nullptr);
+  IndexDef idx{"idx_c_phone", "customer", {"c_phone"}, false, false};
+  ASSERT_TRUE(catalog_.AddIndex(idx).ok());
+  ASSERT_TRUE(store.BuildIndex(catalog_, "idx_c_phone").ok());
+  ASSERT_NE(store.GetIndex("idx_c_phone"), nullptr);
+  EXPECT_EQ(store.GetIndex("idx_c_phone")->num_entries(), 1500u);
+}
+
+TEST_F(DatagenTest, ColumnStoreRoundTrip) {
+  ColumnStore store;
+  auto nation = gen_.Generate("nation");
+  ASSERT_TRUE(nation.ok());
+  TableData copy = *nation;
+  ASSERT_TRUE(store.LoadTable(catalog_, copy).ok());
+  auto table = store.GetTable("nation");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows, 25u);
+  for (size_t r = 0; r < 25; ++r) {
+    for (size_t c = 0; c < copy.rows[r].size(); ++c) {
+      EXPECT_EQ((*table)->columns[c].Get(r).Compare(copy.rows[r][c]), 0);
+    }
+  }
+}
+
+TEST_F(DatagenTest, ZoneMapsPruneSegments) {
+  ColumnStore store;
+  auto customer = gen_.Generate("customer");
+  ASSERT_TRUE(customer.ok());
+  ASSERT_TRUE(store.LoadTable(catalog_, *customer).ok());
+  auto table = store.GetTable("customer");
+  ASSERT_TRUE(table.ok());
+  const ColumnVector& custkey = (*table)->columns[0];  // 1..1500 in order
+  ASSERT_EQ(custkey.num_segments(), 2u);               // 1500 rows, 1024/segment
+  // Key 42 lives in segment 0 only.
+  EXPECT_TRUE(custkey.SegmentMayContain(0, Value::Int(42)));
+  EXPECT_FALSE(custkey.SegmentMayContain(1, Value::Int(42)));
+  Value min, max;
+  ASSERT_TRUE(custkey.ZoneRange(0, &min, &max));
+  EXPECT_EQ(min.AsInt(), 1);
+  EXPECT_EQ(max.AsInt(), 1024);
+}
+
+TEST(ColumnVectorTest, NullHandling) {
+  ColumnVector col(DataType::kInt);
+  col.Append(Value::Null());
+  col.Append(Value::Int(5));
+  EXPECT_TRUE(col.Get(0).is_null());
+  EXPECT_EQ(col.Get(1).AsInt(), 5);
+  Value min, max;
+  ASSERT_TRUE(col.ZoneRange(0, &min, &max));
+  EXPECT_EQ(min.AsInt(), 5);
+  EXPECT_EQ(max.AsInt(), 5);
+}
+
+TEST(ColumnVectorTest, AllNullSegmentHasNoZoneRange) {
+  ColumnVector col(DataType::kString);
+  col.Append(Value::Null());
+  Value min, max;
+  EXPECT_FALSE(col.ZoneRange(0, &min, &max));
+  EXPECT_FALSE(col.SegmentMayContain(0, Value::Str("x")));
+}
+
+}  // namespace
+}  // namespace htapex

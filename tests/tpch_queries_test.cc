@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "engine/htap_system.h"
+#include "workload/tpch_queries.h"
+
+namespace htapex {
+namespace {
+
+class TpchQueriesTest : public ::testing::TestWithParam<TpchQuery> {
+ protected:
+  static void SetUpTestSuite() {
+    plan_system_ = new HtapSystem();
+    HtapConfig plan_config;
+    plan_config.data_scale_factor = 0.0;  // SF=100 statistics, plan-only
+    ASSERT_TRUE(plan_system_->Init(plan_config).ok());
+
+    exec_system_ = new HtapSystem();
+    HtapConfig exec_config;
+    exec_config.stats_scale_factor = 0.01;
+    exec_config.data_scale_factor = 0.01;  // really execute
+    ASSERT_TRUE(exec_system_->Init(exec_config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete plan_system_;
+    delete exec_system_;
+    plan_system_ = nullptr;
+    exec_system_ = nullptr;
+  }
+  static HtapSystem* plan_system_;
+  static HtapSystem* exec_system_;
+};
+
+HtapSystem* TpchQueriesTest::plan_system_ = nullptr;
+HtapSystem* TpchQueriesTest::exec_system_ = nullptr;
+
+TEST_P(TpchQueriesTest, PlansOnBothEngines) {
+  const TpchQuery& q = GetParam();
+  auto bound = plan_system_->Bind(q.sql);
+  ASSERT_TRUE(bound.ok()) << q.id << ": " << bound.status();
+  auto plans = plan_system_->PlanBoth(*bound);
+  ASSERT_TRUE(plans.ok()) << q.id << ": " << plans.status();
+  // Analytical benchmark queries at SF=100 all favour the AP engine.
+  EXPECT_GT(plan_system_->LatencyMs(plans->tp), 0);
+  EXPECT_GT(plan_system_->LatencyMs(plans->ap), 0);
+}
+
+TEST_P(TpchQueriesTest, ExecutesIdenticallyOnBothEngines) {
+  const TpchQuery& q = GetParam();
+  auto outcome = exec_system_->RunQuery(q.sql);
+  ASSERT_TRUE(outcome.ok()) << q.id << ": " << outcome.status();
+  ASSERT_TRUE(outcome->tp_result.has_value());
+  EXPECT_TRUE(outcome->results_match)
+      << q.id << ": TP rows " << outcome->tp_result->rows.size() << ", AP rows "
+      << outcome->ap_result->rows.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdaptedSuite, TpchQueriesTest,
+    ::testing::ValuesIn(AdaptedTpchQueries()),
+    [](const ::testing::TestParamInfo<TpchQuery>& info) {
+      return info.param.id;
+    });
+
+TEST(TpchQueriesMetaTest, SuiteIsNonTrivial) {
+  const auto& queries = AdaptedTpchQueries();
+  EXPECT_GE(queries.size(), 8u);
+  for (const TpchQuery& q : queries) {
+    EXPECT_FALSE(q.sql.empty()) << q.id;
+    EXPECT_FALSE(q.adaptation.empty()) << q.id;
+  }
+}
+
+TEST(TpchQueriesMetaTest, Q1ProducesKnownGroups) {
+  HtapSystem system;
+  HtapConfig config;
+  config.stats_scale_factor = 0.01;
+  config.data_scale_factor = 0.01;
+  ASSERT_TRUE(system.Init(config).ok());
+  auto outcome = system.RunQuery(AdaptedTpchQueries()[0].sql);  // Q1
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // 3 return flags x 2 line statuses = up to 6 groups.
+  EXPECT_GE(outcome->tp_result->rows.size(), 4u);
+  EXPECT_LE(outcome->tp_result->rows.size(), 6u);
+  EXPECT_TRUE(outcome->results_match);
+}
+
+}  // namespace
+}  // namespace htapex

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "vectordb/hnsw.h"
+#include "vectordb/knowledge_base.h"
+#include "vectordb/vector_store.h"
+
+namespace htapex {
+namespace {
+
+std::vector<double> Vec(std::initializer_list<double> v) { return v; }
+
+TEST(VectorStoreTest, AddSearchRemove) {
+  VectorStore store(2);
+  ASSERT_TRUE(store.Add(Vec({0, 0})).ok());
+  ASSERT_TRUE(store.Add(Vec({1, 0})).ok());
+  ASSERT_TRUE(store.Add(Vec({5, 5})).ok());
+  EXPECT_EQ(store.size(), 3u);
+  auto hits = store.Search(Vec({0.9, 0.1}), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1);
+  EXPECT_EQ(hits[1].id, 0);
+  ASSERT_TRUE(store.Remove(1).ok());
+  EXPECT_EQ(store.size(), 2u);
+  hits = store.Search(Vec({0.9, 0.1}), 2);
+  EXPECT_EQ(hits[0].id, 0);
+  EXPECT_EQ(store.Remove(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Get(1), nullptr);
+  ASSERT_NE(store.Get(0), nullptr);
+}
+
+TEST(VectorStoreTest, DimensionMismatchRejected) {
+  VectorStore store(3);
+  EXPECT_FALSE(store.Add(Vec({1, 2})).ok());
+}
+
+TEST(VectorStoreTest, KLargerThanStore) {
+  VectorStore store(1);
+  store.Add(Vec({1})).status();
+  auto hits = store.Search(Vec({0}), 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(HnswTest, ExactOnSmallSets) {
+  // With few points HNSW degenerates to exact search.
+  HnswIndex index(2);
+  for (double x : {0.0, 1.0, 2.0, 3.0, 10.0}) {
+    ASSERT_TRUE(index.Add(Vec({x, 0})).ok());
+  }
+  auto hits = index.Search(Vec({2.2, 0}), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 2);
+  EXPECT_EQ(hits[1].id, 3);
+}
+
+TEST(HnswTest, HighRecallVsExact) {
+  constexpr int kDim = 16;
+  Rng rng(5);
+  VectorStore exact(kDim);
+  HnswIndex hnsw(kDim);
+  auto random_vec = [&]() {
+    std::vector<double> v(kDim);
+    for (double& x : v) x = rng.UniformReal(0, 10);
+    return v;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> v = random_vec();
+    exact.Add(v).status();
+    hnsw.Add(std::move(v)).status();
+  }
+  int hits = 0, total = 0;
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query = random_vec();
+    auto truth = exact.Search(query, 5);
+    auto approx = hnsw.Search(query, 5);
+    std::set<int> truth_ids;
+    for (const auto& h : truth) truth_ids.insert(h.id);
+    for (const auto& h : approx) {
+      if (truth_ids.count(h.id) > 0) ++hits;
+    }
+    total += 5;
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.9);
+}
+
+TEST(HnswTest, ResultsSortedByDistance) {
+  HnswIndex index(2);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    index.Add(Vec({rng.UniformReal(0, 1), rng.UniformReal(0, 1)})).status();
+  }
+  auto hits = index.Search(Vec({0.5, 0.5}), 10);
+  ASSERT_EQ(hits.size(), 10u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i].distance, hits[i - 1].distance);
+  }
+}
+
+KbEntry MakeEntry(std::vector<double> embedding, std::string sql,
+                  EngineKind faster) {
+  KbEntry e;
+  e.sql = std::move(sql);
+  e.embedding = std::move(embedding);
+  e.tp_plan_json = "{'Node Type': 'Table Scan'}";
+  e.ap_plan_json = "{'Node Type': 'Columnar scan'}";
+  e.faster = faster;
+  e.tp_latency_ms = 100;
+  e.ap_latency_ms = 10;
+  e.expert_explanation = "AP is faster.";
+  return e;
+}
+
+TEST(KnowledgeBaseTest, InsertRetrieve) {
+  KnowledgeBase kb(2);
+  ASSERT_TRUE(kb.Insert(MakeEntry(Vec({0, 0}), "q0", EngineKind::kAp)).ok());
+  ASSERT_TRUE(kb.Insert(MakeEntry(Vec({1, 1}), "q1", EngineKind::kTp)).ok());
+  ASSERT_TRUE(kb.Insert(MakeEntry(Vec({5, 5}), "q2", EngineKind::kAp)).ok());
+  EXPECT_EQ(kb.size(), 3u);
+  auto hits = kb.Retrieve(Vec({0.8, 0.8}), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->sql, "q1");
+  EXPECT_EQ(hits[1]->sql, "q0");
+}
+
+TEST(KnowledgeBaseTest, DimensionMismatchRejected) {
+  KnowledgeBase kb(4);
+  EXPECT_FALSE(kb.Insert(MakeEntry(Vec({1, 2}), "q", EngineKind::kAp)).ok());
+}
+
+TEST(KnowledgeBaseTest, CorrectionAndExpiry) {
+  KnowledgeBase kb(2);
+  auto id0 = kb.Insert(MakeEntry(Vec({0, 0}), "q0", EngineKind::kAp));
+  auto id1 = kb.Insert(MakeEntry(Vec({1, 1}), "q1", EngineKind::kAp));
+  ASSERT_TRUE(id0.ok() && id1.ok());
+  ASSERT_TRUE(kb.CorrectExplanation(*id0, "corrected text").ok());
+  EXPECT_EQ(kb.Get(*id0)->expert_explanation, "corrected text");
+  ASSERT_TRUE(kb.Expire(*id1).ok());
+  EXPECT_EQ(kb.size(), 1u);
+  EXPECT_EQ(kb.Get(*id1), nullptr);
+  EXPECT_FALSE(kb.Expire(*id1).ok());
+  EXPECT_FALSE(kb.CorrectExplanation(*id1, "x").ok());
+  auto hits = kb.Retrieve(Vec({1, 1}), 2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->sql, "q0");
+}
+
+TEST(KnowledgeBaseTest, SaveLoadRoundTrip) {
+  KnowledgeBase kb(2);
+  kb.Insert(MakeEntry(Vec({0.5, 1.5}), "query one", EngineKind::kAp)).status();
+  kb.Insert(MakeEntry(Vec({2.5, 3.5}), "query 'two'", EngineKind::kTp)).status();
+  std::string path = ::testing::TempDir() + "/kb.json";
+  ASSERT_TRUE(kb.SaveJson(path).ok());
+  KnowledgeBase loaded(2);
+  ASSERT_TRUE(loaded.LoadJson(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  auto hits = loaded.Retrieve(Vec({0.5, 1.5}), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->sql, "query one");
+  EXPECT_EQ(hits[0]->faster, EngineKind::kAp);
+  EXPECT_DOUBLE_EQ(hits[0]->tp_latency_ms, 100);
+  // Dimension mismatch on load.
+  KnowledgeBase wrong(3);
+  EXPECT_FALSE(wrong.LoadJson(path).ok());
+}
+
+TEST(KnowledgeBaseTest, HnswModeAgreesWithExact) {
+  KnowledgeBase exact(4, KnowledgeBase::IndexMode::kExact);
+  KnowledgeBase hnsw(4, KnowledgeBase::IndexMode::kHnsw);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> v(4);
+    for (double& x : v) x = rng.UniformReal(0, 10);
+    exact.Insert(MakeEntry(v, "q" + std::to_string(i), EngineKind::kAp)).status();
+    hnsw.Insert(MakeEntry(v, "q" + std::to_string(i), EngineKind::kAp)).status();
+  }
+  int agree = 0;
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> v(4);
+    for (double& x : v) x = rng.UniformReal(0, 10);
+    auto a = exact.Retrieve(v, 1);
+    auto b = hnsw.Retrieve(v, 1);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    if (a[0]->sql == b[0]->sql) ++agree;
+  }
+  EXPECT_GE(agree, 18);  // HNSW is approximate but should rarely differ
+}
+
+}  // namespace
+}  // namespace htapex

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/htap_system.h"
+#include "workload/query_generator.h"
+
+namespace htapex {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.data_scale_factor = 0.0;
+    ASSERT_TRUE(system_->Init(config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static HtapSystem* system_;
+};
+
+HtapSystem* WorkloadTest::system_ = nullptr;
+
+/// Every pattern/variant must produce SQL that parses, binds, and plans on
+/// both engines — parameterized over all patterns.
+class PatternTest : public WorkloadTest,
+                    public ::testing::WithParamInterface<QueryPattern> {};
+
+TEST_P(PatternTest, GeneratesValidQueries) {
+  QueryGenerator gen(100.0, 11);
+  for (int i = 0; i < 12; ++i) {
+    GeneratedQuery q = gen.Generate(GetParam());
+    auto bound = system_->Bind(q.sql);
+    ASSERT_TRUE(bound.ok()) << q.sql << ": " << bound.status();
+    auto plans = system_->PlanBoth(*bound);
+    ASSERT_TRUE(plans.ok()) << q.sql << ": " << plans.status();
+    EXPECT_GT(plans->tp.root->TreeSize(), 0);
+    EXPECT_GT(plans->ap.root->TreeSize(), 0);
+  }
+}
+
+TEST_P(PatternTest, VariantsAreDeterministic) {
+  QueryGenerator a(100.0, 5), b(100.0, 5);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(a.Generate(GetParam(), v).sql, b.Generate(GetParam(), v).sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternTest, ::testing::ValuesIn(AllQueryPatterns()),
+    [](const ::testing::TestParamInfo<QueryPattern>& info) {
+      return QueryPatternName(info.param);
+    });
+
+TEST_F(WorkloadTest, MixCoversAllPatterns) {
+  QueryGenerator gen(100.0, 77);
+  auto queries = gen.GenerateMix(400);
+  std::map<QueryPattern, int> counts;
+  for (const auto& q : queries) counts[q.pattern]++;
+  for (QueryPattern p : AllQueryPatterns()) {
+    EXPECT_GT(counts[p], 5) << QueryPatternName(p);
+  }
+}
+
+TEST_F(WorkloadTest, MixProducesBothEngineLabels) {
+  QueryGenerator gen(100.0, 78);
+  int tp = 0, ap = 0;
+  for (const auto& gq : gen.GenerateMix(120)) {
+    auto bound = system_->Bind(gq.sql);
+    ASSERT_TRUE(bound.ok()) << gq.sql;
+    auto plans = system_->PlanBoth(*bound);
+    ASSERT_TRUE(plans.ok());
+    if (system_->LatencyMs(plans->tp) <= system_->LatencyMs(plans->ap)) {
+      ++tp;
+    } else {
+      ++ap;
+    }
+  }
+  EXPECT_GT(tp, 20);
+  EXPECT_GT(ap, 20);
+}
+
+TEST_F(WorkloadTest, PatternsMatchExpectedWinner) {
+  QueryGenerator gen(100.0, 79);
+  // Point lookups favor TP; function-predicate joins favor AP.
+  for (int i = 0; i < 8; ++i) {
+    auto q = gen.Generate(QueryPattern::kPointLookup);
+    auto bound = system_->Bind(q.sql);
+    auto plans = system_->PlanBoth(*bound);
+    EXPECT_LE(system_->LatencyMs(plans->tp), system_->LatencyMs(plans->ap))
+        << q.sql;
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto q = gen.Generate(QueryPattern::kJoinFunctionPred);
+    auto bound = system_->Bind(q.sql);
+    auto plans = system_->PlanBoth(*bound);
+    EXPECT_GT(system_->LatencyMs(plans->tp), system_->LatencyMs(plans->ap))
+        << q.sql;
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDifferentQueries) {
+  QueryGenerator a(100.0, 1), b(100.0, 2);
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Generate(QueryPattern::kJoinLarge).sql ==
+        b.Generate(QueryPattern::kJoinLarge).sql) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 10);
+}
+
+}  // namespace
+}  // namespace htapex
