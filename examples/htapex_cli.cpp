@@ -3,19 +3,27 @@
 // framework ultimately serves. Reads from stdin (one query per line,
 // ';'-terminated lines also accepted), or runs a demo script with --demo.
 //
+// Batch serving: `htapex_cli --serve [workers]` pushes every stdin line
+// (or the demo queries, repeated, on a tty) through the concurrent
+// ExplainService and prints one line per result plus the service stats —
+// worker-pool throughput and cache hit rate included.
+//
 // Commands:
 //   \demo            run three showcase queries
 //   \kb              list knowledge-base entries
 //   \report <sql>    full markdown report for one query
 //   \q               quit
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/htap_explainer.h"
 #include "core/report.h"
 #include "common/string_util.h"
+#include "service/explain_service.h"
 
 namespace {
 
@@ -35,6 +43,53 @@ void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
               result->retrieval.items.size(),
               result->end_to_end_ms() / 1000.0);
   std::printf("\n%s\n", result->generation.text.c_str());
+}
+
+/// --serve: batch mode over the concurrent service. Queries come from
+/// stdin (one per line; ';' suffix tolerated), or the demo set repeated 4x
+/// when stdin is a terminal so the cache has something to hit.
+int RunServe(HtapExplainer* explainer, int workers,
+             const char* const* demo, size_t demo_count) {
+  ServiceConfig config;
+  config.num_workers = workers;
+  ExplainService service(explainer, config);
+
+  std::vector<std::string> sqls;
+  if (isatty(0)) {
+    for (int round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < demo_count; ++i) sqls.push_back(demo[i]);
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string sql(Trim(line));
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      if (!sql.empty()) sqls.push_back(std::move(sql));
+    }
+  }
+  if (sqls.empty()) {
+    std::printf("--serve: no queries on stdin\n");
+    return 0;
+  }
+
+  std::printf("serving %zu queries on %d workers...\n", sqls.size(), workers);
+  auto futures = service.SubmitBatch(sqls);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    if (!result.ok()) {
+      std::printf("[%3zu] error: %s\n", i, result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("[%3zu] %-5s %s faster  %-6s  %s  %.60s\n", i,
+                result->from_cache ? "cache" : "fresh",
+                EngineName(result->outcome.faster),
+                FormatMillis(result->end_to_end_ms()).c_str(),
+                ExplanationGradeName(result->grade.grade),
+                result->outcome.sql.c_str());
+  }
+  std::printf("\n=== service stats ===\n%s\n",
+              service.Stats().ToString().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -61,6 +116,12 @@ int main(int argc, char** argv) {
       "AND c_mktsegment = 'machinery' AND o_orderstatus = 'p'",
       "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10",
   };
+  if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
+    int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+    if (workers < 1) workers = 4;
+    return RunServe(&explainer, workers, demo,
+                    sizeof(demo) / sizeof(demo[0]));
+  }
   bool demo_mode = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
   if (demo_mode || !isatty(0)) {
     // Non-interactive: run the demo script (keeps `for b in ...` runnable).

@@ -115,34 +115,48 @@ Status HtapExplainer::BuildDefaultKnowledgeBase() {
   return AddToKnowledgeBase(sqls);
 }
 
-Result<ExplainResult> HtapExplainer::Explain(const std::string& sql) {
-  ExplainResult result;
-  BoundQuery query;
-  HTAPEX_ASSIGN_OR_RETURN(query, system_->Bind(sql));
-  result.outcome.sql = sql;
-  HTAPEX_ASSIGN_OR_RETURN(result.outcome.plans, system_->PlanBoth(query));
-  result.outcome.tp_latency_ms = system_->LatencyMs(result.outcome.plans.tp);
-  result.outcome.ap_latency_ms = system_->LatencyMs(result.outcome.plans.ap);
-  result.outcome.faster =
-      result.outcome.tp_latency_ms <= result.outcome.ap_latency_ms
+Result<PreparedQuery> HtapExplainer::Prepare(const std::string& sql) const {
+  PreparedQuery prepared;
+  HTAPEX_ASSIGN_OR_RETURN(prepared.query, system_->Bind(sql));
+  prepared.outcome.sql = sql;
+  HTAPEX_ASSIGN_OR_RETURN(prepared.outcome.plans,
+                          system_->PlanBoth(prepared.query));
+  prepared.outcome.tp_latency_ms = system_->LatencyMs(prepared.outcome.plans.tp);
+  prepared.outcome.ap_latency_ms = system_->LatencyMs(prepared.outcome.plans.ap);
+  prepared.outcome.faster =
+      prepared.outcome.tp_latency_ms <= prepared.outcome.ap_latency_ms
           ? EngineKind::kTp
           : EngineKind::kAp;
-  result.truth = expert_.Analyze(result.outcome, query);
-
   WallTimer encode_timer;
-  result.embedding = router_.Embed(result.outcome.plans);
-  result.router_encode_ms = encode_timer.ElapsedMillis();
+  prepared.embedding = router_.Embed(prepared.outcome.plans);
+  prepared.encode_ms = encode_timer.ElapsedMillis();
+  return prepared;
+}
+
+Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared) {
+  ExplainResult result;
+  result.truth = expert_.Analyze(prepared.outcome, prepared.query);
+  result.outcome = std::move(prepared.outcome);
+  result.embedding = std::move(prepared.embedding);
+  result.router_encode_ms = prepared.encode_ms;
 
   if (config_.use_rag) {
     result.retrieval = retriever_.Retrieve(result.embedding, config_.retrieval_k);
   }
 
   result.prompt = prompt_builder_.Build(
-      result.retrieval.items, sql, result.outcome.plans.tp.Explain(),
-      result.outcome.plans.ap.Explain(), result.outcome.faster);
+      result.retrieval.items, result.outcome.sql,
+      result.outcome.plans.tp.Explain(), result.outcome.plans.ap.Explain(),
+      result.outcome.faster);
   result.generation = llm_->Explain(result.prompt);
   result.grade = grader_.Grade(result.truth, result.generation.claims);
   return result;
+}
+
+Result<ExplainResult> HtapExplainer::Explain(const std::string& sql) {
+  PreparedQuery prepared;
+  HTAPEX_ASSIGN_OR_RETURN(prepared, Prepare(sql));
+  return ExplainPrepared(std::move(prepared));
 }
 
 Status HtapExplainer::IncorporateCorrection(const ExplainResult& result) {

@@ -11,6 +11,7 @@
 #include "llm/llm.h"
 #include "rag/retriever.h"
 #include "router/smart_router.h"
+#include "sql/binder.h"
 #include "vectordb/knowledge_base.h"
 
 namespace htapex {
@@ -51,10 +52,31 @@ struct ExplainResult {
   GradeResult grade;               // expert grading vs truth
   std::vector<double> embedding;   // the 16-dim plan-pair encoding
   double router_encode_ms = 0.0;   // measured embedding time
-  /// End-to-end (paper Section VI-B): encode + search + thinking + generation.
+  /// Service-layer result cache: whether this explanation was served from
+  /// the embedding-keyed cache, and the measured probe time. A miss also
+  /// pays the probe, so both paths report it.
+  bool from_cache = false;
+  double cache_lookup_ms = 0.0;
+  /// End-to-end (paper Section VI-B): encode + cache probe + search +
+  /// thinking + generation. Cache hits zero out the search/generation
+  /// components (nothing was searched or generated), so hit latencies stay
+  /// honest next to miss latencies.
   double end_to_end_ms() const {
-    return router_encode_ms + retrieval.search_ms + generation.timing.total_ms();
+    return router_encode_ms + cache_lookup_ms + retrieval.search_ms +
+           generation.timing.total_ms();
   }
+};
+
+/// Stage one of Explain(): everything derivable from the SQL alone —
+/// binding, both plans, modelled latencies, and the plan-pair embedding.
+/// Cheap relative to stage two (no expert analysis, retrieval, or
+/// generation), which lets a service probe its result cache by embedding
+/// before committing to the expensive stage.
+struct PreparedQuery {
+  BoundQuery query;
+  HtapQueryOutcome outcome;
+  std::vector<double> embedding;
+  double encode_ms = 0.0;  // measured embedding wall time
 };
 
 /// The paper's contribution, end to end: a RAG-augmented LLM framework that
@@ -82,7 +104,19 @@ class HtapExplainer {
 
   /// Full pipeline for one query: plan both engines, embed the pair,
   /// retrieve top-K knowledge, prompt the model, grade the output.
+  /// Equivalent to Prepare() followed by ExplainPrepared().
   Result<ExplainResult> Explain(const std::string& sql);
+
+  /// Stage one: bind, plan both engines, model latencies, embed the pair.
+  /// Read-only on the explainer (safe to run concurrently with other
+  /// Prepare/ExplainPrepared calls).
+  Result<PreparedQuery> Prepare(const std::string& sql) const;
+
+  /// Stage two: expert analysis, knowledge retrieval, prompting,
+  /// generation, grading. Reads the knowledge base — callers running this
+  /// concurrently with IncorporateCorrection must hold a reader lock
+  /// (ExplainService does).
+  Result<ExplainResult> ExplainPrepared(PreparedQuery prepared);
 
   /// The expert feedback loop: after a non-accurate explanation, the expert
   /// corrects it and the corrected entry joins the knowledge base for

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace htapex {
+
+namespace {
+
+/// Upper bound of bucket i in milliseconds.
+double BucketUpperMs(int i) {
+  return LatencyHistogram::kMinMs * std::pow(2.0, i + 1);
+}
+
+double BucketLowerMs(int i) {
+  return i == 0 ? 0.0 : LatencyHistogram::kMinMs * std::pow(2.0, i);
+}
+
+/// Quantile q (0..1) by linear interpolation within the containing bucket.
+double QuantileFromBuckets(
+    const std::array<uint64_t, LatencyHistogram::kNumBuckets>& buckets,
+    uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      double lo = BucketLowerMs(i), hi = BucketUpperMs(i);
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return BucketUpperMs(LatencyHistogram::kNumBuckets - 1);
+}
+
+uint64_t ToNanos(double ms) {
+  if (ms <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(ms * 1e6));
+}
+
+double ToMillis(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+int LatencyHistogram::BucketOf(double ms) {
+  if (ms <= kMinMs) return 0;
+  int b = static_cast<int>(std::floor(std::log2(ms / kMinMs)));
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0.0 || !std::isfinite(ms)) ms = 0.0;
+  buckets_[static_cast<size_t>(BucketOf(ms))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t ns = ToNanos(ms);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ms = ToMillis(sum_ns_.load(std::memory_order_relaxed));
+  uint64_t mn = min_ns_.load(std::memory_order_relaxed);
+  s.min_ms = (mn == UINT64_MAX) ? 0.0 : ToMillis(mn);
+  s.max_ms = ToMillis(max_ns_.load(std::memory_order_relaxed));
+  // Bucket interpolation can overshoot the largest observed sample (the
+  // estimate lands anywhere inside the containing bucket), so clamp
+  // quantiles to the exact [min, max] tracked alongside the buckets.
+  auto clamped = [&s](double q) {
+    return std::min(std::max(QuantileFromBuckets(s.buckets, s.count, q),
+                             s.min_ms),
+                    s.max_ms);
+  };
+  s.p50_ms = clamped(0.50);
+  s.p95_ms = clamped(0.95);
+  s.p99_ms = clamped(0.99);
+  return s;
+}
+
+ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
+  ServiceStats s;
+  s.requests = metrics.requests.Value();
+  s.completed = metrics.completed.Value();
+  s.errors = metrics.errors.Value();
+  s.cache_hits = metrics.cache_hits.Value();
+  s.cache_misses = metrics.cache_misses.Value();
+  s.kb_inserts = metrics.kb_inserts.Value();
+  s.encode = metrics.encode.Snap();
+  s.cache_lookup = metrics.cache_lookup.Snap();
+  s.kb_search = metrics.kb_search.Snap();
+  s.generate = metrics.generate.Snap();
+  s.end_to_end = metrics.end_to_end.Snap();
+  return s;
+}
+
+namespace {
+
+std::string HistLine(const char* name,
+                     const LatencyHistogram::Snapshot& h) {
+  return StrFormat(
+      "  %-12s n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+      "max=%.3fms",
+      name, static_cast<unsigned long long>(h.count), h.mean_ms(), h.p50_ms,
+      h.p95_ms, h.p99_ms, h.max_ms);
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::string out = StrFormat(
+      "requests=%llu completed=%llu errors=%llu cache_hits=%llu "
+      "cache_misses=%llu hit_rate=%.1f%% kb_inserts=%llu\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
+      static_cast<unsigned long long>(kb_inserts));
+  out += HistLine("encode", encode) + "\n";
+  out += HistLine("cache_lookup", cache_lookup) + "\n";
+  out += HistLine("kb_search", kb_search) + "\n";
+  out += HistLine("generate", generate) + "\n";
+  out += HistLine("end_to_end", end_to_end);
+  return out;
+}
+
+}  // namespace htapex

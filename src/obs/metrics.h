@@ -1,0 +1,112 @@
+#ifndef HTAPEX_OBS_METRICS_H_
+#define HTAPEX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace htapex {
+
+/// Lock-free monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram, safe for concurrent Record() from any
+/// number of threads (all state is relaxed atomics — observability must
+/// never serialize the hot path it observes).
+///
+/// Buckets are exponential: bucket i covers [kMinMs * 2^i, kMinMs * 2^(i+1))
+/// milliseconds, spanning ~1 us to ~2 minutes; out-of-range samples clamp
+/// into the first/last bucket. Quantiles are reconstructed from bucket
+/// counts by linear interpolation, which is the usual fixed-memory
+/// trade-off: exact counts and sums, approximate percentiles.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 28;
+  static constexpr double kMinMs = 0.001;  // first bucket upper bound ~1 us
+
+  /// Thread-safe; relaxed atomics only.
+  void Record(double ms);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double mean_ms() const { return count == 0 ? 0.0 : sum_ms / count; }
+  };
+
+  /// Consistent-enough snapshot (individual fields are atomic; the set is
+  /// not cut at one instant — fine for monitoring).
+  Snapshot Snap() const;
+
+ private:
+  static int BucketOf(double ms);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  // Sum/min/max kept in nanoseconds as integers: atomic fetch_add on
+  // doubles is not lock-free everywhere, and nanosecond resolution is far
+  // below anything we measure.
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// All service-level metrics, updated by ExplainService workers.
+struct ServiceMetrics {
+  Counter requests;       // submitted to the service
+  Counter completed;      // finished (ok or error)
+  Counter errors;         // bind/plan failures etc.
+  Counter cache_hits;
+  Counter cache_misses;
+  Counter kb_inserts;     // expert-loop corrections incorporated
+
+  LatencyHistogram encode;        // router embedding
+  LatencyHistogram cache_lookup;  // result-cache probe
+  LatencyHistogram kb_search;     // knowledge-base retrieval
+  LatencyHistogram generate;      // simulated LLM thinking + generation
+  LatencyHistogram end_to_end;    // full per-request latency
+};
+
+/// Point-in-time copy of ServiceMetrics, cheap to pass around and print.
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t kb_inserts = 0;
+
+  LatencyHistogram::Snapshot encode;
+  LatencyHistogram::Snapshot cache_lookup;
+  LatencyHistogram::Snapshot kb_search;
+  LatencyHistogram::Snapshot generate;
+  LatencyHistogram::Snapshot end_to_end;
+
+  double cache_hit_rate() const {
+    uint64_t probes = cache_hits + cache_misses;
+    return probes == 0 ? 0.0 : static_cast<double>(cache_hits) / probes;
+  }
+
+  /// Multi-line human-readable summary (used by the CLI and bench).
+  std::string ToString() const;
+};
+
+ServiceStats SnapshotMetrics(const ServiceMetrics& metrics);
+
+}  // namespace htapex
+
+#endif  // HTAPEX_OBS_METRICS_H_

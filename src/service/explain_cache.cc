@@ -1,0 +1,116 @@
+#include "service/explain_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vectordb/vector_store.h"
+
+namespace htapex {
+
+size_t ShardedExplainCache::KeyHash::operator()(const QuantKey& key) const {
+  // FNV-1a over the lattice coordinates.
+  uint64_t h = 1469598103934665603ull;
+  for (int64_t c : key) {
+    uint64_t u = static_cast<uint64_t>(c);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+ShardedExplainCache::ShardedExplainCache(Options options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.capacity < options_.shards) options_.capacity = options_.shards;
+  if (options_.quant_step <= 0.0) options_.quant_step = 0.05;
+  per_shard_capacity_ = options_.capacity / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedExplainCache::QuantKey ShardedExplainCache::Quantize(
+    const std::vector<double>& embedding) const {
+  QuantKey key;
+  key.reserve(embedding.size());
+  for (double v : embedding) {
+    key.push_back(static_cast<int64_t>(std::llround(v / options_.quant_step)));
+  }
+  return key;
+}
+
+ShardedExplainCache::Shard& ShardedExplainCache::ShardFor(
+    const QuantKey& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+const ShardedExplainCache::Shard& ShardedExplainCache::ShardFor(
+    const QuantKey& key) const {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedExplanation> ShardedExplainCache::Lookup(
+    const std::vector<double>& embedding) {
+  QuantKey key = Quantize(embedding);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  // Same lattice cell — confirm it is a genuine near-duplicate before
+  // serving someone else's explanation.
+  const std::shared_ptr<const CachedExplanation>& value = it->second->value;
+  if (value->embedding.size() != embedding.size() ||
+      SquaredL2(embedding, value->embedding) > options_.max_sq_distance) {
+    ++shard.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return value;
+}
+
+void ShardedExplainCache::Insert(
+    std::shared_ptr<const CachedExplanation> value) {
+  QuantKey key = Quantize(value->embedding);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Same cell already cached (e.g. two workers raced on the same query):
+    // keep the newer explanation and refresh recency.
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.map[std::move(key)] = shard.lru.begin();
+  ++shard.insertions;
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ShardedExplainCache::Stats ShardedExplainCache::GetStats() const {
+  Stats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.insertions += shard->insertions;
+    s.evictions += shard->evictions;
+    s.size += shard->lru.size();
+  }
+  return s;
+}
+
+size_t ShardedExplainCache::size() const { return GetStats().size; }
+
+}  // namespace htapex

@@ -1,0 +1,111 @@
+#ifndef HTAPEX_SERVICE_EXPLAIN_CACHE_H_
+#define HTAPEX_SERVICE_EXPLAIN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/htap_explainer.h"
+
+namespace htapex {
+
+/// The copyable slice of an ExplainResult a cache can serve: everything
+/// downstream of the plan pair (analysis, retrieval, prompt, generation,
+/// grade). The plan pair itself (move-only) is re-derived by the cheap
+/// Prepare() stage on every request, so a hit combines fresh plans with a
+/// cached explanation.
+struct CachedExplanation {
+  std::vector<double> embedding;  // exact embedding this entry was keyed on
+  ExpertAnalysis truth;
+  Prompt prompt;
+  RetrievalResult retrieval;
+  GeneratedExplanation generation;
+  GradeResult grade;
+};
+
+/// Sharded LRU cache keyed by quantized plan-pair embeddings.
+///
+/// Key scheme: each embedding coordinate is snapped to a lattice of step
+/// `quant_step` (llround(v / step)); the lattice cell identifies the hash
+/// bucket. Plans whose embeddings land in the same cell are candidate
+/// near-duplicates; a hit is only declared if the squared L2 distance
+/// between the query embedding and the cached entry's *exact* embedding is
+/// within `max_sq_distance` — the quantization gives O(1) lookup, the
+/// threshold guards against false sharing of a cell. Near-identical pairs
+/// straddling a cell boundary miss; that costs a regeneration, never a
+/// wrong answer.
+///
+/// Sharding: cell hash picks the shard; each shard has its own mutex and
+/// LRU list, so concurrent workers rarely contend.
+class ShardedExplainCache {
+ public:
+  struct Options {
+    size_t capacity = 1024;  // total entries across all shards
+    size_t shards = 8;
+    /// Lattice step. A service typically overrides this with the
+    /// explainer's ExplainerConfig::embedding_quantization when that is
+    /// non-zero, so cache keys and stored KB codes quantize identically.
+    double quant_step = 0.05;
+    /// Max squared L2 distance for a near-duplicate hit.
+    double max_sq_distance = 1e-4;
+  };
+
+  explicit ShardedExplainCache(Options options);
+
+  /// Returns the cached explanation for a near-duplicate embedding, or
+  /// nullptr on miss. Refreshes LRU position on hit. Thread-safe.
+  std::shared_ptr<const CachedExplanation> Lookup(
+      const std::vector<double>& embedding);
+
+  /// Inserts (or replaces) the entry for this embedding's lattice cell,
+  /// evicting the shard's LRU entry when over capacity. Thread-safe.
+  void Insert(std::shared_ptr<const CachedExplanation> value);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+  };
+  Stats GetStats() const;
+
+  size_t size() const;
+
+ private:
+  using QuantKey = std::vector<int64_t>;
+
+  struct KeyHash {
+    size_t operator()(const QuantKey& key) const;
+  };
+
+  struct Entry {
+    QuantKey key;
+    std::shared_ptr<const CachedExplanation> value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<QuantKey, std::list<Entry>::iterator, KeyHash> map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  QuantKey Quantize(const std::vector<double>& embedding) const;
+  Shard& ShardFor(const QuantKey& key);
+  const Shard& ShardFor(const QuantKey& key) const;
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_SERVICE_EXPLAIN_CACHE_H_

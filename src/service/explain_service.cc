@@ -1,0 +1,223 @@
+#include "service/explain_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/sim_clock.h"
+
+namespace htapex {
+
+ExplainService::ExplainService(HtapExplainer* explainer, ServiceConfig config)
+    : explainer_(explainer),
+      config_([&] {
+        // Keep the cache lattice aligned with the explainer's stored vector
+        // codes when quantization is on.
+        double step = explainer->config().embedding_quantization;
+        if (step > 0.0) config.cache.quant_step = step;
+        if (config.num_workers < 1) config.num_workers = 1;
+        if (config.queue_capacity < 1) config.queue_capacity = 1;
+        return config;
+      }()),
+      cache_(config_.cache) {
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExplainService::~ExplainService() { Shutdown(); }
+
+void ExplainService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql) {
+  Request req;
+  req.sql = std::move(sql);
+  std::future<Result<ExplainResult>> future = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stopping_) {
+      req.promise.set_value(
+          Status::InvalidArgument("service is shutting down"));
+      return future;
+    }
+    queue_.push_back(std::move(req));
+  }
+  metrics_.requests.Inc();
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<Result<ExplainResult>>> ExplainService::SubmitBatch(
+    std::vector<std::string> sqls) {
+  std::vector<std::future<Result<ExplainResult>>> futures;
+  futures.reserve(sqls.size());
+  size_t next = 0;
+  while (next < sqls.size()) {
+    size_t pushed = 0;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+      });
+      if (stopping_) break;
+      while (next < sqls.size() && queue_.size() < config_.queue_capacity) {
+        Request req;
+        req.sql = std::move(sqls[next++]);
+        futures.push_back(req.promise.get_future());
+        queue_.push_back(std::move(req));
+        ++pushed;
+      }
+    }
+    metrics_.requests.Inc(pushed);
+    if (pushed > 1) {
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  // Shutdown raced the batch: fail the remainder without enqueueing.
+  for (; next < sqls.size(); ++next) {
+    std::promise<Result<ExplainResult>> promise;
+    futures.push_back(promise.get_future());
+    promise.set_value(Status::InvalidArgument("service is shutting down"));
+  }
+  return futures;
+}
+
+Result<ExplainResult> ExplainService::ExplainSync(const std::string& sql) {
+  return Submit(sql).get();
+}
+
+void ExplainService::WorkerLoop() {
+  // Workers drain in small batches: one lock round-trip per kPopBatch
+  // requests instead of per request, which is what lets throughput scale
+  // when individual requests are cheap (cache hits).
+  constexpr size_t kPopBatch = 8;
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      size_t n = std::min(kPopBatch, queue_.size());
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    for (Request& req : batch) {
+      Result<ExplainResult> result = Process(req.sql);
+      // Count before fulfilling the promise so a caller who wakes from the
+      // future already sees this request in Stats().
+      metrics_.completed.Inc();
+      req.promise.set_value(std::move(result));
+    }
+  }
+}
+
+Result<ExplainResult> ExplainService::Process(const std::string& sql) {
+  PreparedQuery prepared;
+  {
+    auto r = explainer_->Prepare(sql);
+    if (!r.ok()) {
+      metrics_.errors.Inc();
+      return r.status();
+    }
+    prepared = std::move(r).value();
+  }
+  metrics_.encode.Record(prepared.encode_ms);
+
+  double lookup_ms = 0.0;
+  if (config_.cache_enabled) {
+    WallTimer probe;
+    std::shared_ptr<const CachedExplanation> hit =
+        cache_.Lookup(prepared.embedding);
+    lookup_ms = probe.ElapsedMillis();
+    metrics_.cache_lookup.Record(lookup_ms);
+    if (hit != nullptr) {
+      metrics_.cache_hits.Inc();
+      // Fresh plans + cached explanation. Search/generation timings are
+      // zeroed: nothing was searched or generated for this request, and
+      // end_to_end_ms() must reflect what this request actually cost.
+      ExplainResult result;
+      result.outcome = std::move(prepared.outcome);
+      result.embedding = std::move(prepared.embedding);
+      result.router_encode_ms = prepared.encode_ms;
+      result.truth = hit->truth;
+      result.prompt = hit->prompt;
+      result.retrieval = hit->retrieval;
+      result.retrieval.search_ms = 0.0;
+      result.generation = hit->generation;
+      result.generation.timing = LlmTiming{};
+      result.grade = hit->grade;
+      result.from_cache = true;
+      result.cache_lookup_ms = lookup_ms;
+      metrics_.end_to_end.Record(result.end_to_end_ms());
+      return result;
+    }
+    metrics_.cache_misses.Inc();
+  }
+
+  Result<ExplainResult> result = [&] {
+    std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
+    return explainer_->ExplainPrepared(std::move(prepared));
+  }();
+  if (!result.ok()) {
+    metrics_.errors.Inc();
+    return result;
+  }
+  if (config_.llm_wall_scale > 0.0) {
+    // Emulate the hosted-LLM round trip (outside any lock, so other
+    // workers keep searching and the writer can still take the KB lock).
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        result->generation.timing.total_ms() * config_.llm_wall_scale));
+  }
+  result->cache_lookup_ms = lookup_ms;
+  metrics_.kb_search.Record(result->retrieval.search_ms);
+  metrics_.generate.Record(result->generation.timing.total_ms());
+  metrics_.end_to_end.Record(result->end_to_end_ms());
+
+  if (config_.cache_enabled) {
+    auto cached = std::make_shared<CachedExplanation>();
+    cached->embedding = result->embedding;
+    cached->truth = result->truth;
+    cached->prompt = result->prompt;
+    cached->retrieval = result->retrieval;
+    cached->generation = result->generation;
+    cached->grade = result->grade;
+    cache_.Insert(std::move(cached));
+  }
+  return result;
+}
+
+Status ExplainService::IncorporateCorrection(const ExplainResult& result) {
+  Status status;
+  {
+    std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
+    status = explainer_->IncorporateCorrection(result);
+  }
+  if (status.ok()) metrics_.kb_inserts.Inc();
+  return status;
+}
+
+ServiceStats ExplainService::Stats() const { return SnapshotMetrics(metrics_); }
+
+}  // namespace htapex

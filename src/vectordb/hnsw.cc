@@ -132,14 +132,22 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
 
 std::vector<SearchHit> HnswIndex::Search(const std::vector<double>& query,
                                          int k) const {
+  // Mirror Add()'s dimension validation: SquaredL2 iterates over the query's
+  // length, so a longer query would read past the end of every stored
+  // vector. A non-positive k used to reach hits.resize(k) and wrap to a
+  // huge size_t.
+  if (static_cast<int>(query.size()) != dim_) return {};
+  if (k <= 0) return {};
   if (entry_point_ < 0) return {};
   std::vector<int> entries = {entry_point_};
   for (int layer = max_level_; layer > 0; --layer) {
     std::vector<SearchHit> nearest = SearchLayer(query, entries, layer, 1);
     if (!nearest.empty()) entries = {nearest[0].id};
   }
-  std::vector<SearchHit> hits =
-      SearchLayer(query, entries, 0, std::max(options_.ef_search, k));
+  // ef must cover k even when the configured ef_search is smaller (or was
+  // set to a nonsense value like 0).
+  int ef = std::max({options_.ef_search, k, 1});
+  std::vector<SearchHit> hits = SearchLayer(query, entries, 0, ef);
   if (static_cast<int>(hits.size()) > k) hits.resize(static_cast<size_t>(k));
   return hits;
 }

@@ -31,7 +31,8 @@ class HnswIndex {
   /// Inserts a vector; returns its id (dense, insertion order).
   Result<int> Add(std::vector<double> vec);
 
-  /// Approximate k nearest neighbours (ascending distance).
+  /// Approximate k nearest neighbours (ascending distance). Returns empty
+  /// for a wrong-dimension query or non-positive k.
   std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
 
  private:

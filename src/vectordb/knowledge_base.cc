@@ -28,12 +28,13 @@ Result<int> KnowledgeBase::Insert(KbEntry entry) {
   entry.sequence = next_sequence_++;
   entries_.push_back(std::move(entry));
   expired_.push_back(0);
-  hits_.push_back(0);
+  hits_.emplace_back(0);
   return id;
 }
 
 std::vector<const KbEntry*> KnowledgeBase::Retrieve(
     const std::vector<double>& embedding, int k) const {
+  if (static_cast<int>(embedding.size()) != dim_ || k <= 0) return {};
   std::vector<SearchHit> hits;
   if (hnsw_ != nullptr) {
     // Over-fetch to compensate for tombstoned entries the graph still holds.
@@ -46,7 +47,7 @@ std::vector<const KbEntry*> KnowledgeBase::Retrieve(
   for (const SearchHit& h : hits) {
     if (h.id < 0 || h.id >= static_cast<int>(entries_.size())) continue;
     if (expired_[static_cast<size_t>(h.id)]) continue;
-    ++hits_[static_cast<size_t>(h.id)];
+    hits_[static_cast<size_t>(h.id)].fetch_add(1, std::memory_order_relaxed);
     out.push_back(&entries_[static_cast<size_t>(h.id)]);
     if (static_cast<int>(out.size()) >= k) break;
   }
@@ -82,7 +83,7 @@ const KbEntry* KnowledgeBase::Get(int id) const {
 
 int64_t KnowledgeBase::RetrievalHits(int id) const {
   if (id < 0 || id >= static_cast<int>(hits_.size())) return 0;
-  return hits_[static_cast<size_t>(id)];
+  return hits_[static_cast<size_t>(id)].load(std::memory_order_relaxed);
 }
 
 std::vector<const KbEntry*> KnowledgeBase::Entries() const {

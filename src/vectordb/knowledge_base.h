@@ -1,6 +1,8 @@
 #ifndef HTAPEX_VECTORDB_KNOWLEDGE_BASE_H_
 #define HTAPEX_VECTORDB_KNOWLEDGE_BASE_H_
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,7 +48,8 @@ class KnowledgeBase {
   /// embedding dimension mismatch.
   Result<int> Insert(KbEntry entry);
 
-  /// Top-k entries by embedding distance (live entries only).
+  /// Top-k entries by embedding distance (live entries only). Returns empty
+  /// for a wrong-dimension embedding or non-positive k.
   std::vector<const KbEntry*> Retrieve(const std::vector<double>& embedding,
                                        int k) const;
 
@@ -72,7 +75,10 @@ class KnowledgeBase {
   std::vector<KbEntry> entries_;
   std::vector<uint8_t> expired_;
   // Usage statistics; mutable so the logically-const Retrieve can count.
-  mutable std::vector<int64_t> hits_;
+  // Atomic (and a deque, so growth never relocates elements) because the
+  // service layer runs concurrent Retrieves under a shared lock: counting
+  // must not race, and Insert only ever runs under the exclusive lock.
+  mutable std::deque<std::atomic<int64_t>> hits_;
   VectorStore exact_;
   std::unique_ptr<HnswIndex> hnsw_;
   int64_t next_sequence_ = 0;

@@ -38,6 +38,10 @@ Status VectorStore::Remove(int id) {
 
 std::vector<SearchHit> VectorStore::Search(const std::vector<double>& query,
                                            int k) const {
+  // SquaredL2 walks the query's length, so a wrong-dimension query would
+  // read out of bounds on every stored vector; k <= 0 would wrap in the
+  // final resize.
+  if (static_cast<int>(query.size()) != dim_ || k <= 0) return {};
   std::vector<SearchHit> hits;
   for (size_t i = 0; i < vectors_.size(); ++i) {
     if (removed_[i]) continue;

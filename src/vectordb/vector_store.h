@@ -33,7 +33,8 @@ class VectorStore {
   /// Tombstones an id (removed from future searches).
   Status Remove(int id);
 
-  /// k nearest neighbours by squared L2, ascending distance.
+  /// k nearest neighbours by squared L2, ascending distance. Returns empty
+  /// for a wrong-dimension query or non-positive k.
   std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
 
   const std::vector<double>* Get(int id) const;

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/htap_explainer.h"
+#include "obs/metrics.h"
+#include "service/explain_cache.h"
+#include "service/explain_service.h"
+#include "workload/query_generator.h"
+
+namespace htapex {
+namespace {
+
+/// Shared expensive fixture: plan-only system + trained explainer with the
+/// default 20-entry knowledge base (HNSW-indexed, so concurrent corrections
+/// exercise the graph insert path too).
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new HtapSystem();
+    HtapConfig config;
+    config.data_scale_factor = 0.0;
+    ASSERT_TRUE(system_->Init(config).ok());
+    ExplainerConfig ec;
+    ec.kb_index = KnowledgeBase::IndexMode::kHnsw;
+    explainer_ = new HtapExplainer(system_, ec);
+    auto train = explainer_->TrainRouter();
+    ASSERT_TRUE(train.ok()) << train.status();
+    ASSERT_TRUE(explainer_->BuildDefaultKnowledgeBase().ok());
+  }
+  static void TearDownTestSuite() {
+    delete explainer_;
+    delete system_;
+    explainer_ = nullptr;
+    system_ = nullptr;
+  }
+  static HtapSystem* system_;
+  static HtapExplainer* explainer_;
+};
+
+HtapSystem* ServiceTest::system_ = nullptr;
+HtapExplainer* ServiceTest::explainer_ = nullptr;
+
+TEST_F(ServiceTest, SyncExplainMatchesDirectExplain) {
+  const std::string sql = "SELECT c_name FROM customer WHERE c_custkey = 42";
+  ExplainService service(explainer_, ServiceConfig{});
+  auto via_service = service.ExplainSync(sql);
+  ASSERT_TRUE(via_service.ok()) << via_service.status();
+  auto direct = explainer_->Explain(sql);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  EXPECT_EQ(via_service->outcome.faster, direct->outcome.faster);
+  EXPECT_EQ(via_service->generation.text, direct->generation.text);
+  EXPECT_EQ(via_service->grade.grade, direct->grade.grade);
+  EXPECT_FALSE(via_service->from_cache);
+}
+
+TEST_F(ServiceTest, RepeatedQueryServedFromCacheWithHonestTiming) {
+  ExplainService service(explainer_, ServiceConfig{});
+  const std::string sql =
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10";
+  auto miss = service.ExplainSync(sql);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->from_cache);
+  EXPECT_GT(miss->generation.timing.total_ms(), 0.0);
+
+  auto hit = service.ExplainSync(sql);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_EQ(hit->generation.text, miss->generation.text);
+  EXPECT_EQ(hit->grade.grade, miss->grade.grade);
+  // Honest hit timing: the probe is charged, the skipped search/generation
+  // are not, so a hit is dramatically cheaper end to end.
+  EXPECT_GE(hit->cache_lookup_ms, 0.0);
+  EXPECT_EQ(hit->generation.timing.total_ms(), 0.0);
+  EXPECT_EQ(hit->retrieval.search_ms, 0.0);
+  EXPECT_LT(hit->end_to_end_ms(), miss->end_to_end_ms());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.end_to_end.count, 2u);
+}
+
+TEST_F(ServiceTest, CacheDisabledNeverHits) {
+  ServiceConfig config;
+  config.cache_enabled = false;
+  ExplainService service(explainer_, config);
+  const std::string sql = "SELECT c_name FROM customer WHERE c_custkey = 7";
+  for (int i = 0; i < 2; ++i) {
+    auto r = service.ExplainSync(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->from_cache);
+  }
+  EXPECT_EQ(service.Stats().cache_hits, 0u);
+}
+
+TEST_F(ServiceTest, InvalidSqlReportsErrorNotCrash) {
+  ExplainService service(explainer_, ServiceConfig{});
+  auto r = service.ExplainSync("SELECT nonsense FROM nowhere");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(service.Stats().errors, 1u);
+}
+
+TEST_F(ServiceTest, ConcurrentExplainAndCorrectionLosesNothing) {
+  // N explain threads hammer a shared workload while M correction threads
+  // insert expert corrections; the reader/writer locking must neither lose
+  // a KB insert nor corrupt a retrieval.
+  constexpr int kExplainThreads = 4;
+  constexpr int kQueriesPerThread = 12;
+  constexpr int kCorrections = 8;
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  ExplainService service(explainer_, config);
+
+  // Deterministic workload: few distinct queries, many repeats, so the
+  // cache must hit.
+  QueryGenerator gen(system_->config().stats_scale_factor, /*seed=*/0x5eed);
+  std::vector<std::string> sqls;
+  for (const GeneratedQuery& q : gen.GenerateMix(6)) sqls.push_back(q.sql);
+
+  // Corrections come from fresh, distinct queries (distinct embeddings).
+  QueryGenerator correction_gen(system_->config().stats_scale_factor,
+                                /*seed=*/0xfeedb);
+  std::vector<std::string> correction_sqls;
+  for (const GeneratedQuery& q : correction_gen.GenerateMix(kCorrections)) {
+    correction_sqls.push_back(q.sql);
+  }
+
+  const size_t kb_before = explainer_->knowledge_base().size();
+  std::atomic<int> explain_ok{0};
+  std::atomic<int> correction_ok{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kExplainThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const std::string& sql =
+            sqls[static_cast<size_t>((t + i) % sqls.size())];
+        auto r = service.ExplainSync(sql);
+        if (r.ok()) explain_ok.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (const std::string& sql : correction_sqls) {
+      auto r = service.ExplainSync(sql);
+      if (!r.ok()) continue;
+      if (service.IncorporateCorrection(*r).ok()) correction_ok.fetch_add(1);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(explain_ok.load(), kExplainThreads * kQueriesPerThread);
+  EXPECT_EQ(correction_ok.load(), kCorrections);
+  // No lost KB entries: every successful correction is present.
+  EXPECT_EQ(explainer_->knowledge_base().size(),
+            kb_before + static_cast<size_t>(correction_ok.load()));
+
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.cache_hits, 0u) << stats.ToString();
+  EXPECT_EQ(stats.errors, 0u) << stats.ToString();
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kExplainThreads * kQueriesPerThread +
+                                  kCorrections));
+  EXPECT_EQ(stats.kb_inserts, static_cast<uint64_t>(kCorrections));
+}
+
+TEST_F(ServiceTest, SubmitManyFuturesAllResolve) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 4;  // forces Submit to block on backpressure
+  ExplainService service(explainer_, config);
+  std::vector<std::future<Result<ExplainResult>>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(service.Submit(
+        "SELECT c_name FROM customer WHERE c_custkey = " +
+        std::to_string(i % 3)));
+  }
+  int ok = 0;
+  for (auto& f : futures) {
+    if (f.get().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 24);
+}
+
+TEST_F(ServiceTest, SubmitAfterShutdownFailsCleanly) {
+  ExplainService service(explainer_, ServiceConfig{});
+  service.Shutdown();
+  auto r = service.Submit("SELECT c_name FROM customer WHERE c_custkey = 1")
+               .get();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExplainCacheTest, QuantizedKeyAndThreshold) {
+  ShardedExplainCache::Options opts;
+  opts.quant_step = 0.1;
+  opts.max_sq_distance = 1e-4;
+  ShardedExplainCache cache(opts);
+
+  auto entry = std::make_shared<CachedExplanation>();
+  entry->embedding = {1.0, 2.0, 3.0};
+  entry->generation.text = "cached";
+  cache.Insert(entry);
+
+  // Identical embedding: hit.
+  auto hit = cache.Lookup({1.0, 2.0, 3.0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->generation.text, "cached");
+
+  // Same lattice cell, tiny perturbation within threshold: hit.
+  EXPECT_NE(cache.Lookup({1.000001, 2.0, 3.0}), nullptr);
+
+  // Same cell but beyond the distance threshold: the guard rejects it.
+  // (0.04 offset stays in the 0.1 cell, 0.04^2 = 1.6e-3 > 1e-4.)
+  EXPECT_EQ(cache.Lookup({1.04, 2.0, 3.0}), nullptr);
+
+  // Different cell: miss.
+  EXPECT_EQ(cache.Lookup({1.5, 2.0, 3.0}), nullptr);
+
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ExplainCacheTest, LruEvictsWithinShard) {
+  ShardedExplainCache::Options opts;
+  opts.capacity = 4;
+  opts.shards = 1;
+  opts.quant_step = 1.0;
+  ShardedExplainCache cache(opts);
+  for (int i = 0; i < 10; ++i) {
+    auto e = std::make_shared<CachedExplanation>();
+    e->embedding = {static_cast<double>(10 * i)};
+    cache.Insert(e);
+  }
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 4u);
+  EXPECT_EQ(stats.evictions, 6u);
+  // Most recent survives, oldest evicted.
+  EXPECT_NE(cache.Lookup({90.0}), nullptr);
+  EXPECT_EQ(cache.Lookup({0.0}), nullptr);
+}
+
+TEST(MetricsTest, HistogramQuantilesAndCounters) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(1.0);   // ~1 ms
+  for (int i = 0; i < 10; ++i) hist.Record(100.0);  // tail
+  auto snap = hist.Snap();
+  EXPECT_EQ(snap.count, 110u);
+  EXPECT_NEAR(snap.sum_ms, 1100.0, 1.0);
+  EXPECT_LE(snap.min_ms, 1.0);
+  EXPECT_GE(snap.max_ms, 100.0);
+  EXPECT_LT(snap.p50_ms, 10.0);
+  EXPECT_GT(snap.p99_ms, 50.0);
+
+  Counter c;
+  c.Inc();
+  c.Inc(4);
+  EXPECT_EQ(c.Value(), 5u);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecords) {
+  LatencyHistogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < 1000; ++i) hist.Record(0.5 + 0.001 * i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.Snap().count, 4000u);
+}
+
+}  // namespace
+}  // namespace htapex

@@ -85,6 +85,40 @@ TEST(HnswTest, HighRecallVsExact) {
   EXPECT_GT(static_cast<double>(hits) / total, 0.9);
 }
 
+TEST(HnswTest, WrongDimensionQueryReturnsEmpty) {
+  // Regression: Search used to skip the dimension check that Add enforces,
+  // so SquaredL2 read past the end of every stored vector.
+  HnswIndex index(3);
+  ASSERT_TRUE(index.Add(Vec({1, 2, 3})).ok());
+  ASSERT_TRUE(index.Add(Vec({4, 5, 6})).ok());
+  EXPECT_TRUE(index.Search(Vec({1, 2}), 2).empty());        // too short
+  EXPECT_TRUE(index.Search(Vec({1, 2, 3, 4}), 2).empty());  // too long
+  EXPECT_EQ(index.Search(Vec({1, 2, 3}), 2).size(), 2u);    // exact dim ok
+}
+
+TEST(HnswTest, NonPositiveKAndTinyEfSearchClamped) {
+  // Regression: hits.resize(k) with negative k wrapped to a huge size_t,
+  // and ef_search < k silently truncated results below k.
+  HnswIndex::Options opts;
+  opts.ef_search = 1;  // smaller than the k we ask for
+  HnswIndex index(2, opts);
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    ASSERT_TRUE(index.Add(Vec({x, 0})).ok());
+  }
+  EXPECT_TRUE(index.Search(Vec({0, 0}), 0).empty());
+  EXPECT_TRUE(index.Search(Vec({0, 0}), -3).empty());
+  EXPECT_EQ(index.Search(Vec({0, 0}), 3).size(), 3u);  // ef clamped up to k
+}
+
+TEST(VectorStoreTest, WrongDimensionOrBadKReturnsEmpty) {
+  VectorStore store(3);
+  ASSERT_TRUE(store.Add(Vec({1, 2, 3})).ok());
+  EXPECT_TRUE(store.Search(Vec({1, 2, 3, 4}), 1).empty());
+  EXPECT_TRUE(store.Search(Vec({1, 2}), 1).empty());
+  EXPECT_TRUE(store.Search(Vec({1, 2, 3}), 0).empty());
+  EXPECT_TRUE(store.Search(Vec({1, 2, 3}), -1).empty());
+}
+
 TEST(HnswTest, ResultsSortedByDistance) {
   HnswIndex index(2);
   Rng rng(9);
@@ -163,6 +197,19 @@ TEST(KnowledgeBaseTest, SaveLoadRoundTrip) {
   // Dimension mismatch on load.
   KnowledgeBase wrong(3);
   EXPECT_FALSE(wrong.LoadJson(path).ok());
+}
+
+TEST(KnowledgeBaseTest, WrongDimensionOrBadKRetrieveReturnsEmpty) {
+  for (auto mode :
+       {KnowledgeBase::IndexMode::kExact, KnowledgeBase::IndexMode::kHnsw}) {
+    KnowledgeBase kb(2, mode);
+    ASSERT_TRUE(kb.Insert(MakeEntry(Vec({0, 0}), "q0", EngineKind::kAp)).ok());
+    EXPECT_TRUE(kb.Retrieve(Vec({0, 0, 0}), 1).empty());
+    EXPECT_TRUE(kb.Retrieve(Vec({0}), 1).empty());
+    EXPECT_TRUE(kb.Retrieve(Vec({0, 0}), 0).empty());
+    EXPECT_TRUE(kb.Retrieve(Vec({0, 0}), -2).empty());
+    EXPECT_EQ(kb.Retrieve(Vec({0, 0}), 1).size(), 1u);
+  }
 }
 
 TEST(KnowledgeBaseTest, HnswModeAgreesWithExact) {
