@@ -13,6 +13,15 @@
 //   \kb              list knowledge-base entries
 //   \report <sql>    full markdown report for one query
 //   \q               quit
+//
+// Fault injection (resilience demos / chaos drills):
+//   --faults="llm.transient_error:p=0.2;llm.timeout:p=0.1,lat=500"
+//   --fault-seed=1337
+// activate deterministic fault points in the simulated LLM and the
+// knowledge base (see src/common/fault.h for the point registry). The
+// explanation pipeline degrades instead of failing: RAG -> DBG-PT
+// baseline -> plan-diff report; degraded answers are tagged in the output.
+// --faults=off forces a clean run even when HTAPEX_FAULTS is set.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +51,11 @@ void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
   std::printf("retrieved %zu similar cases; simulated response %.1fs\n",
               result->retrieval.items.size(),
               result->end_to_end_ms() / 1000.0);
+  if (result->degradation != DegradationLevel::kFull) {
+    std::printf("DEGRADED (%s): %s\n",
+                DegradationLevelName(result->degradation),
+                result->degradation_reason.c_str());
+  }
   std::printf("\n%s\n", result->generation.text.c_str());
 }
 
@@ -80,11 +94,12 @@ int RunServe(HtapExplainer* explainer, int workers,
       std::printf("[%3zu] error: %s\n", i, result.status().ToString().c_str());
       continue;
     }
-    std::printf("[%3zu] %-5s %s faster  %-6s  %s  %.60s\n", i,
+    std::printf("[%3zu] %-5s %s faster  %-6s  %s  %-17s  %.60s\n", i,
                 result->from_cache ? "cache" : "fresh",
                 EngineName(result->outcome.faster),
                 FormatMillis(result->end_to_end_ms()).c_str(),
                 ExplanationGradeName(result->grade.grade),
+                DegradationLevelName(result->degradation),
                 result->outcome.sql.c_str());
   }
   std::printf("\n=== service stats ===\n%s\n",
@@ -101,7 +116,38 @@ int main(int argc, char** argv) {
   if (!system.Init(sys_config).ok()) return 1;
 
   ExplainerConfig config;
+  // Pull --faults= / --fault-seed= out of argv wherever they appear; the
+  // remaining positional args keep their existing meaning.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      config.faults = argv[i] + 9;
+      if (config.faults.empty()) config.faults = "off";
+      // Validate eagerly: a typo'd point name should fail the invocation,
+      // not silently fall back to a clean run.
+      auto parsed = FaultInjector::Parse(
+          config.faults == "off" ? "" : config.faults, config.fault_seed);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --faults: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      config.fault_seed =
+          static_cast<uint64_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   HtapExplainer explainer(&system, config);
+  if (explainer.faults().enabled()) {
+    std::printf("fault injection: %s (seed %llu)\n",
+                explainer.faults().ToString().c_str(),
+                static_cast<unsigned long long>(explainer.faults().seed()));
+  }
   std::printf("training smart router...\n");
   auto train = explainer.TrainRouter();
   if (!train.ok()) return 1;

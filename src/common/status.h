@@ -22,6 +22,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kNotImplemented,
+  kUnavailable,        // dependency down / breaker open / shutting down
+  kDeadlineExceeded,   // per-request budget exhausted
 };
 
 /// Returns a short human-readable name for a status code, e.g. "ParseError".
@@ -65,6 +67,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,14 +10,25 @@ namespace htapex {
 
 namespace {
 
-std::unique_ptr<SimulatedLlm> MakeLlm(const ExplainerConfig& config) {
-  LlmPersona persona =
-      config.persona == "gpt4" ? Gpt4Persona() : DoubaoPersona();
-  if (config.use_rag) return MakeRagLlm(std::move(persona));
-  return MakeDbgPtLlm(std::move(persona));
+LlmPersona ConfigPersona(const ExplainerConfig& config) {
+  return config.persona == "gpt4" ? Gpt4Persona() : DoubaoPersona();
 }
 
 }  // namespace
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFull:
+      return "full";
+    case DegradationLevel::kBaselineFallback:
+      return "baseline_fallback";
+    case DegradationLevel::kPlanDiffOnly:
+      return "plan_diff_only";
+    case DegradationLevel::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 HtapExplainer::HtapExplainer(const HtapSystem* system, ExplainerConfig config)
     : system_(system),
@@ -25,10 +36,61 @@ HtapExplainer::HtapExplainer(const HtapSystem* system, ExplainerConfig config)
       router_(config_.seed),
       kb_(router_.embedding_dim(), config_.kb_index),
       retriever_(&kb_),
-      llm_(MakeLlm(config_)),
       expert_(system->catalog(), system->config().latency) {
   router_.set_embedding_quantization(config_.embedding_quantization);
   prompt_builder_.set_user_context(config_.user_context);
+  // Fault spec: explicit config wins; empty falls through to the
+  // HTAPEX_FAULTS environment (the chaos-CI hook); "off" forces clean runs.
+  std::string spec = config_.faults;
+  uint64_t fault_seed = config_.fault_seed;
+  if (spec.empty()) {
+    spec = FaultInjector::EnvSpec();
+    fault_seed = FaultInjector::EnvSeed(fault_seed);
+  } else if (spec == "off") {
+    spec.clear();
+  }
+  Status st = ConfigureFaults(spec, fault_seed);
+  if (!st.ok()) {
+    // A constructor cannot propagate the error; refusing to inject is the
+    // safe interpretation of a malformed spec.
+    HTAPEX_LOG(Warning) << "ignoring malformed fault spec '" << spec
+                     << "': " << st;
+    (void)ConfigureFaults("", fault_seed);
+  }
+}
+
+Status HtapExplainer::ConfigureFaults(const std::string& spec,
+                                      uint64_t fault_seed) {
+  // "off" is accepted here too so callers sweeping fault levels (benches)
+  // can use the same spellings ExplainerConfig::faults accepts.
+  HTAPEX_ASSIGN_OR_RETURN(
+      faults_, FaultInjector::Parse(spec == "off" ? "" : spec, fault_seed));
+  kb_.set_fault_injector(&faults_);
+  resilience_metrics_.Reset();
+  RebuildResilientLlms();
+  if (faults_.enabled()) {
+    HTAPEX_LOG(Info) << "fault injection active: " << faults_.ToString()
+                     << " (seed " << faults_.seed() << ")";
+  }
+  return Status::OK();
+}
+
+void HtapExplainer::RebuildResilientLlms() {
+  ResiliencePolicy policy = config_.resilience;
+  policy.seed = faults_.enabled() ? faults_.seed() : config_.fault_seed;
+  if (config_.use_rag) {
+    primary_ = std::make_unique<ResilientLlm>(
+        MakeRagLlm(ConfigPersona(config_)), "rag", policy, &faults_,
+        &resilience_metrics_);
+    fallback_ = std::make_unique<ResilientLlm>(
+        MakeDbgPtLlm(ConfigPersona(config_)), "baseline", policy, &faults_,
+        &resilience_metrics_);
+  } else {
+    primary_ = std::make_unique<ResilientLlm>(
+        MakeDbgPtLlm(ConfigPersona(config_)), "baseline", policy, &faults_,
+        &resilience_metrics_);
+    fallback_.reset();
+  }
 }
 
 Result<RouterTrainStats> HtapExplainer::TrainRouter() {
@@ -81,9 +143,23 @@ Status HtapExplainer::AddToKnowledgeBase(const std::vector<std::string>& sqls) {
     entry.tp_latency_ms = outcome.tp_latency_ms;
     entry.ap_latency_ms = outcome.ap_latency_ms;
     entry.expert_explanation = truth.explanation;
-    HTAPEX_RETURN_IF_ERROR(kb_.Insert(std::move(entry)).status());
+    HTAPEX_RETURN_IF_ERROR(InsertWithRetry(std::move(entry)));
   }
   return Status::OK();
+}
+
+Status HtapExplainer::InsertWithRetry(KbEntry entry) {
+  // Transient (injected) write contention is retried a bounded number of
+  // times; each retry is a fresh deterministic draw, so a fixed seed
+  // yields a fixed bootstrap transcript.
+  constexpr int kMaxInsertAttempts = 4;
+  Status st;
+  for (int attempt = 0; attempt < kMaxInsertAttempts; ++attempt) {
+    st = kb_.Insert(entry).status();
+    if (st.code() != StatusCode::kUnavailable) return st;
+    resilience_metrics_.kb_insert_retries.Inc();
+  }
+  return st;
 }
 
 Status HtapExplainer::BuildDefaultKnowledgeBase() {
@@ -133,7 +209,8 @@ Result<PreparedQuery> HtapExplainer::Prepare(const std::string& sql) const {
   return prepared;
 }
 
-Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared) {
+Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
+                                                     double budget_ms) {
   ExplainResult result;
   result.truth = expert_.Analyze(prepared.outcome, prepared.query);
   result.outcome = std::move(prepared.outcome);
@@ -148,7 +225,57 @@ Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared) {
       result.retrieval.items, result.outcome.sql,
       result.outcome.plans.tp.Explain(), result.outcome.plans.ap.Explain(),
       result.outcome.faster);
-  result.generation = llm_->Explain(result.prompt);
+
+  // The degradation ladder: primary model -> DBG-PT baseline -> local
+  // plan-diff report. Each rung runs behind its own deadline/retry/breaker
+  // stack; whatever time a failed rung burned is charged to the request and
+  // subtracted from the remaining budget.
+  double spent = 0.0;
+  auto call = primary_->Explain(result.prompt, budget_ms, &spent);
+  double total_spent = spent;
+  if (call.ok()) {
+    result.generation = std::move(call->explanation);
+    result.llm_attempts = call->attempts;
+    result.resilience_ms = call->overhead_ms;
+    result.degradation = DegradationLevel::kFull;
+  } else {
+    int attempts = config_.resilience.max_attempts;  // pessimistic floor
+    std::string reason = call.status().ToString();
+    bool answered = false;
+    if (fallback_ != nullptr) {
+      resilience_metrics_.fallbacks_baseline.Inc();
+      double remaining =
+          budget_ms > 0.0 ? std::max(0.0, budget_ms - total_spent) : 0.0;
+      // A zero remaining budget must not mean "unlimited" for the fallback.
+      if (budget_ms <= 0.0 || remaining > 0.0) {
+        spent = 0.0;
+        auto fb = fallback_->Explain(result.prompt, remaining, &spent);
+        total_spent += spent;
+        if (fb.ok()) {
+          result.generation = std::move(fb->explanation);
+          result.llm_attempts = attempts + fb->attempts;
+          result.resilience_ms = total_spent - result.generation.timing.total_ms();
+          result.degradation = DegradationLevel::kBaselineFallback;
+          result.degradation_reason = std::move(reason);
+          answered = true;
+        } else {
+          reason += "; " + fb.status().ToString();
+        }
+      } else {
+        reason += "; baseline skipped: budget exhausted";
+      }
+    }
+    if (!answered) {
+      // Local, LLM-free, always succeeds, costs nothing beyond what the
+      // failed rungs already burned.
+      resilience_metrics_.fallbacks_plan_diff.Inc();
+      result.generation = MakePlanDiffExplanation(result.prompt);
+      result.llm_attempts = attempts;
+      result.resilience_ms = total_spent;
+      result.degradation = DegradationLevel::kPlanDiffOnly;
+      result.degradation_reason = std::move(reason);
+    }
+  }
   result.grade = grader_.Grade(result.truth, result.generation.claims);
   return result;
 }
@@ -170,7 +297,7 @@ Status HtapExplainer::IncorporateCorrection(const ExplainResult& result) {
   entry.ap_latency_ms = result.outcome.ap_latency_ms;
   // The expert's corrected explanation replaces the model's output.
   entry.expert_explanation = result.truth.explanation;
-  return kb_.Insert(std::move(entry)).status();
+  return InsertWithRetry(std::move(entry));
 }
 
 std::string HtapExplainer::AnswerFollowUp(const ExplainResult& result,

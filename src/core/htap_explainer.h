@@ -5,10 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "engine/htap_system.h"
 #include "expert/expert_analyzer.h"
 #include "expert/grader.h"
 #include "llm/llm.h"
+#include "llm/resilient_llm.h"
+#include "obs/metrics.h"
 #include "rag/retriever.h"
 #include "router/smart_router.h"
 #include "sql/binder.h"
@@ -35,12 +38,37 @@ struct ExplainerConfig {
   /// SmartRouter::set_embedding_quantization.
   double embedding_quantization = 0.0;
   uint64_t seed = 7;
+  /// Fault-injection spec (see common/fault.h), e.g.
+  /// "llm.transient_error:p=0.2;llm.timeout:p=0.1,lat=500". Empty reads the
+  /// HTAPEX_FAULTS environment variable; "off" disables even the env spec.
+  std::string faults;
+  /// Seed for fault draws and backoff jitter (HTAPEX_FAULT_SEED overrides
+  /// when the spec came from the environment).
+  uint64_t fault_seed = 42;
+  /// Deadline / retry / circuit-breaker policy for the simulated hosted
+  /// LLM dependencies (shared by the RAG model and the DBG-PT fallback,
+  /// each with its own breaker).
+  ResiliencePolicy resilience;
   /// Additional user context appended to prompts (Table I's third section).
   std::string user_context =
       "Beyond the default indexes on primary and foreign keys, an "
       "additional index has been created on the c_phone column in the "
       "customer table.";
 };
+
+/// How much of the full RAG pipeline a result actually exercised. The
+/// explanation service degrades stepwise instead of failing: RAG model ->
+/// DBG-PT baseline (the paper's Section VI-D comparator, exactly the
+/// knowledge-free mode it already characterizes) -> local plan-diff report.
+/// Accuracy benches segment by this tag so degraded answers never pollute
+/// the full-pipeline numbers.
+enum class DegradationLevel {
+  kFull = 0,             // RAG-grounded explanation (the configured model)
+  kBaselineFallback,     // RAG exhausted/short-circuited; DBG-PT answered
+  kPlanDiffOnly,         // both models failed; structural plan diff
+  kFailed,               // nothing produced (error or early rejection)
+};
+const char* DegradationLevelName(DegradationLevel level);
 
 /// Everything produced while explaining one query.
 struct ExplainResult {
@@ -57,13 +85,22 @@ struct ExplainResult {
   /// pays the probe, so both paths report it.
   bool from_cache = false;
   double cache_lookup_ms = 0.0;
+  /// Which rung of the degradation ladder produced this answer, how many
+  /// LLM attempts it took across both dependencies, and the simulated time
+  /// burned on failed attempts + backoff + fallback chains. Empty reason
+  /// for kFull.
+  DegradationLevel degradation = DegradationLevel::kFull;
+  int llm_attempts = 1;
+  double resilience_ms = 0.0;
+  std::string degradation_reason;
   /// End-to-end (paper Section VI-B): encode + cache probe + search +
-  /// thinking + generation. Cache hits zero out the search/generation
+  /// thinking + generation, plus any resilience overhead (failed attempts,
+  /// backoff, fallback chains). Cache hits zero out the search/generation
   /// components (nothing was searched or generated), so hit latencies stay
   /// honest next to miss latencies.
   double end_to_end_ms() const {
     return router_encode_ms + cache_lookup_ms + retrieval.search_ms +
-           generation.timing.total_ms();
+           generation.timing.total_ms() + resilience_ms;
   }
 };
 
@@ -116,12 +153,38 @@ class HtapExplainer {
   /// generation, grading. Reads the knowledge base — callers running this
   /// concurrently with IncorporateCorrection must hold a reader lock
   /// (ExplainService does).
-  Result<ExplainResult> ExplainPrepared(PreparedQuery prepared);
+  ///
+  /// The generation step runs through the resilience layer: per-attempt
+  /// deadlines, bounded jittered retries and a circuit breaker on the RAG
+  /// model; on exhaustion it degrades to the DBG-PT baseline, then to a
+  /// local plan-diff report — the result's `degradation` tag records which
+  /// rung answered. `budget_ms` > 0 caps the simulated time the LLM chain
+  /// may burn (DeadlineExceeded once no rung could run within it; the
+  /// plan-diff rung is free and always fits).
+  Result<ExplainResult> ExplainPrepared(PreparedQuery prepared,
+                                        double budget_ms = 0.0);
 
   /// The expert feedback loop: after a non-accurate explanation, the expert
   /// corrects it and the corrected entry joins the knowledge base for
-  /// future retrieval (Section III-B).
+  /// future retrieval (Section III-B). Transient (fault-injected) KB write
+  /// failures are retried a bounded number of times.
   Status IncorporateCorrection(const ExplainResult& result);
+
+  /// Replaces the active fault spec and rebuilds the resilient LLM
+  /// wrappers (fresh breakers, zeroed resilience counters). NOT
+  /// thread-safe: call only while no explanations are in flight. Benches
+  /// use this to sweep fault rates without retraining the router.
+  Status ConfigureFaults(const std::string& spec, uint64_t fault_seed);
+
+  /// Point-in-time copy of the resilience counters.
+  ResilienceStats ResilienceSnapshot() const {
+    return SnapshotResilience(resilience_metrics_);
+  }
+  const FaultInjector& faults() const { return faults_; }
+  /// Breaker state of the primary (RAG) dependency.
+  BreakerState primary_breaker_state() const {
+    return primary_->breaker_state();
+  }
 
   /// Conversational follow-up (Section VI-B's closing example): answers a
   /// user's follow-up question about a produced explanation.
@@ -138,6 +201,12 @@ class HtapExplainer {
  private:
   Result<ExpertAnalysis> AnalyzeCase(const HtapQueryOutcome& outcome,
                                      const BoundQuery& query) const;
+  /// (Re)creates the resilient wrappers around fresh model instances —
+  /// primary follows config_.use_rag; fallback is the DBG-PT baseline
+  /// (null when the primary already is the baseline).
+  void RebuildResilientLlms();
+  /// KB insert with bounded retries on injected transient write faults.
+  Status InsertWithRetry(KbEntry entry);
 
   const HtapSystem* system_;
   ExplainerConfig config_;
@@ -145,7 +214,10 @@ class HtapExplainer {
   KnowledgeBase kb_;
   Retriever retriever_;
   PromptBuilder prompt_builder_;
-  std::unique_ptr<SimulatedLlm> llm_;
+  FaultInjector faults_;
+  ResilienceMetrics resilience_metrics_;
+  std::unique_ptr<ResilientLlm> primary_;
+  std::unique_ptr<ResilientLlm> fallback_;  // DBG-PT; null when !use_rag
   ExpertAnalyzer expert_;
   ExpertGrader grader_;
 };

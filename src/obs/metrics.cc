@@ -73,11 +73,15 @@ void LatencyHistogram::Record(double ms) {
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  // Zero-sample guard: with no records, min_ns_ still holds its UINT64_MAX
+  // sentinel and the quantile interpolation has nothing to interpolate —
+  // return all-zero instead of leaking the sentinel into min/max/quantiles.
+  if (s.count == 0) return s;
   for (int i = 0; i < kNumBuckets; ++i) {
     s.buckets[static_cast<size_t>(i)] =
         buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
   }
-  s.count = count_.load(std::memory_order_relaxed);
   s.sum_ms = ToMillis(sum_ns_.load(std::memory_order_relaxed));
   uint64_t mn = min_ns_.load(std::memory_order_relaxed);
   s.min_ms = (mn == UINT64_MAX) ? 0.0 : ToMillis(mn);
@@ -96,6 +100,47 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   return s;
 }
 
+ResilienceStats SnapshotResilience(const ResilienceMetrics& metrics) {
+  ResilienceStats s;
+  s.llm_attempts = metrics.llm_attempts.Value();
+  s.llm_retries = metrics.llm_retries.Value();
+  s.llm_timeouts = metrics.llm_timeouts.Value();
+  s.llm_transient_errors = metrics.llm_transient_errors.Value();
+  s.llm_garbled = metrics.llm_garbled.Value();
+  s.llm_slow = metrics.llm_slow.Value();
+  s.budget_exhausted = metrics.budget_exhausted.Value();
+  s.breaker_opens = metrics.breaker_opens.Value();
+  s.breaker_half_opens = metrics.breaker_half_opens.Value();
+  s.breaker_closes = metrics.breaker_closes.Value();
+  s.breaker_short_circuits = metrics.breaker_short_circuits.Value();
+  s.fallbacks_baseline = metrics.fallbacks_baseline.Value();
+  s.fallbacks_plan_diff = metrics.fallbacks_plan_diff.Value();
+  s.kb_insert_retries = metrics.kb_insert_retries.Value();
+  return s;
+}
+
+std::string ResilienceStats::ToString() const {
+  return StrFormat(
+      "attempts=%llu retries=%llu timeouts=%llu transient=%llu garbled=%llu "
+      "slow=%llu budget_exhausted=%llu breaker(open=%llu half=%llu "
+      "close=%llu short_circuit=%llu) fallbacks(baseline=%llu "
+      "plan_diff=%llu) kb_insert_retries=%llu",
+      static_cast<unsigned long long>(llm_attempts),
+      static_cast<unsigned long long>(llm_retries),
+      static_cast<unsigned long long>(llm_timeouts),
+      static_cast<unsigned long long>(llm_transient_errors),
+      static_cast<unsigned long long>(llm_garbled),
+      static_cast<unsigned long long>(llm_slow),
+      static_cast<unsigned long long>(budget_exhausted),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_half_opens),
+      static_cast<unsigned long long>(breaker_closes),
+      static_cast<unsigned long long>(breaker_short_circuits),
+      static_cast<unsigned long long>(fallbacks_baseline),
+      static_cast<unsigned long long>(fallbacks_plan_diff),
+      static_cast<unsigned long long>(kb_insert_retries));
+}
+
 ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
   ServiceStats s;
   s.requests = metrics.requests.Value();
@@ -104,6 +149,11 @@ ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
   s.cache_hits = metrics.cache_hits.Value();
   s.cache_misses = metrics.cache_misses.Value();
   s.kb_inserts = metrics.kb_inserts.Value();
+  s.early_rejections = metrics.early_rejections.Value();
+  s.degraded_full = metrics.degraded_full.Value();
+  s.degraded_baseline = metrics.degraded_baseline.Value();
+  s.degraded_plan_diff = metrics.degraded_plan_diff.Value();
+  s.degraded_failed = metrics.degraded_failed.Value();
   s.encode = metrics.encode.Snap();
   s.cache_lookup = metrics.cache_lookup.Snap();
   s.kb_search = metrics.kb_search.Snap();
@@ -135,6 +185,15 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
       static_cast<unsigned long long>(kb_inserts));
+  out += StrFormat(
+      "degradation: full=%llu baseline=%llu plan_diff=%llu failed=%llu "
+      "early_rejected=%llu\n",
+      static_cast<unsigned long long>(degraded_full),
+      static_cast<unsigned long long>(degraded_baseline),
+      static_cast<unsigned long long>(degraded_plan_diff),
+      static_cast<unsigned long long>(degraded_failed),
+      static_cast<unsigned long long>(early_rejections));
+  out += "resilience: " + resilience.ToString() + "\n";
   out += HistLine("encode", encode) + "\n";
   out += HistLine("cache_lookup", cache_lookup) + "\n";
   out += HistLine("kb_search", kb_search) + "\n";

@@ -13,6 +13,10 @@ class Counter {
  public:
   void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the counter. For between-run resets only (e.g. a bench
+  /// reconfiguring fault rates) — not safe to interleave with Inc readers
+  /// expecting monotonicity.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -65,6 +69,60 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_ns_{0};
 };
 
+/// Counters for the resilient LLM invocation path (retries, deadlines,
+/// circuit breaker, degradation ladder). Updated by ResilientLlm and
+/// HtapExplainer; plain relaxed atomics like everything else here.
+struct ResilienceMetrics {
+  Counter llm_attempts;          // every simulated-LLM call attempt
+  Counter llm_retries;           // attempts beyond the first
+  Counter llm_timeouts;          // attempts abandoned at the deadline
+  Counter llm_transient_errors;  // injected transient dependency errors
+  Counter llm_garbled;           // responses rejected as garbled
+  Counter llm_slow;              // slow-generation faults absorbed
+  Counter budget_exhausted;      // calls stopped by the request budget
+  Counter breaker_opens;         // closed/half-open -> open transitions
+  Counter breaker_half_opens;    // open -> half-open transitions
+  Counter breaker_closes;        // half-open -> closed transitions
+  Counter breaker_short_circuits;  // calls rejected while open
+  Counter fallbacks_baseline;    // RAG exhausted -> DBG-PT baseline
+  Counter fallbacks_plan_diff;   // baseline exhausted -> plan-diff report
+  Counter kb_insert_retries;     // transient KB-write faults retried
+
+  /// Zeroes every counter (between-run resets only; see Counter::Reset).
+  void Reset() {
+    for (Counter* c :
+         {&llm_attempts, &llm_retries, &llm_timeouts, &llm_transient_errors,
+          &llm_garbled, &llm_slow, &budget_exhausted, &breaker_opens,
+          &breaker_half_opens, &breaker_closes, &breaker_short_circuits,
+          &fallbacks_baseline, &fallbacks_plan_diff, &kb_insert_retries}) {
+      c->Reset();
+    }
+  }
+};
+
+/// Point-in-time copy of ResilienceMetrics.
+struct ResilienceStats {
+  uint64_t llm_attempts = 0;
+  uint64_t llm_retries = 0;
+  uint64_t llm_timeouts = 0;
+  uint64_t llm_transient_errors = 0;
+  uint64_t llm_garbled = 0;
+  uint64_t llm_slow = 0;
+  uint64_t budget_exhausted = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_short_circuits = 0;
+  uint64_t fallbacks_baseline = 0;
+  uint64_t fallbacks_plan_diff = 0;
+  uint64_t kb_insert_retries = 0;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+ResilienceStats SnapshotResilience(const ResilienceMetrics& metrics);
+
 /// All service-level metrics, updated by ExplainService workers.
 struct ServiceMetrics {
   Counter requests;       // submitted to the service
@@ -73,6 +131,12 @@ struct ServiceMetrics {
   Counter cache_hits;
   Counter cache_misses;
   Counter kb_inserts;     // expert-loop corrections incorporated
+  Counter early_rejections;  // over-budget requests rejected at dequeue
+  // Degradation mix (see DegradationLevel in core/htap_explainer.h).
+  Counter degraded_full;
+  Counter degraded_baseline;
+  Counter degraded_plan_diff;
+  Counter degraded_failed;   // errors + early rejections
 
   LatencyHistogram encode;        // router embedding
   LatencyHistogram cache_lookup;  // result-cache probe
@@ -89,6 +153,15 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t kb_inserts = 0;
+  uint64_t early_rejections = 0;
+  uint64_t degraded_full = 0;
+  uint64_t degraded_baseline = 0;
+  uint64_t degraded_plan_diff = 0;
+  uint64_t degraded_failed = 0;
+
+  /// Snapshot of the explainer's resilience counters (retries, breaker
+  /// transitions, fallbacks) taken alongside the service counters.
+  ResilienceStats resilience;
 
   LatencyHistogram::Snapshot encode;
   LatencyHistogram::Snapshot cache_lookup;

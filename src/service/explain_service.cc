@@ -40,11 +40,26 @@ void ExplainService::Shutdown() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  // Workers drain the queue before exiting, so this is normally empty; the
+  // sweep guarantees that even if a worker died early (e.g. a throwing
+  // explainer) no promise is ever abandoned — every future resolves.
+  std::deque<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    orphans.swap(queue_);
+  }
+  for (Request& req : orphans) {
+    metrics_.completed.Inc();
+    metrics_.degraded_failed.Inc();
+    req.promise.set_value(Status::Unavailable("service is shutting down"));
+  }
 }
 
-std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql) {
+std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql,
+                                                          double budget_ms) {
   Request req;
   req.sql = std::move(sql);
+  req.budget_ms = budget_ms > 0.0 ? budget_ms : 0.0;
   std::future<Result<ExplainResult>> future = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
@@ -52,10 +67,10 @@ std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql) {
       return stopping_ || queue_.size() < config_.queue_capacity;
     });
     if (stopping_) {
-      req.promise.set_value(
-          Status::InvalidArgument("service is shutting down"));
+      req.promise.set_value(Status::Unavailable("service is shutting down"));
       return future;
     }
+    req.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(req));
   }
   metrics_.requests.Inc();
@@ -64,7 +79,7 @@ std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql) {
 }
 
 std::vector<std::future<Result<ExplainResult>>> ExplainService::SubmitBatch(
-    std::vector<std::string> sqls) {
+    std::vector<std::string> sqls, double budget_ms) {
   std::vector<std::future<Result<ExplainResult>>> futures;
   futures.reserve(sqls.size());
   size_t next = 0;
@@ -76,9 +91,12 @@ std::vector<std::future<Result<ExplainResult>>> ExplainService::SubmitBatch(
         return stopping_ || queue_.size() < config_.queue_capacity;
       });
       if (stopping_) break;
+      auto now = std::chrono::steady_clock::now();
       while (next < sqls.size() && queue_.size() < config_.queue_capacity) {
         Request req;
         req.sql = std::move(sqls[next++]);
+        req.budget_ms = budget_ms > 0.0 ? budget_ms : 0.0;
+        req.enqueued = now;
         futures.push_back(req.promise.get_future());
         queue_.push_back(std::move(req));
         ++pushed;
@@ -95,13 +113,14 @@ std::vector<std::future<Result<ExplainResult>>> ExplainService::SubmitBatch(
   for (; next < sqls.size(); ++next) {
     std::promise<Result<ExplainResult>> promise;
     futures.push_back(promise.get_future());
-    promise.set_value(Status::InvalidArgument("service is shutting down"));
+    promise.set_value(Status::Unavailable("service is shutting down"));
   }
   return futures;
 }
 
-Result<ExplainResult> ExplainService::ExplainSync(const std::string& sql) {
-  return Submit(sql).get();
+Result<ExplainResult> ExplainService::ExplainSync(const std::string& sql,
+                                                  double budget_ms) {
+  return Submit(sql, budget_ms).get();
 }
 
 void ExplainService::WorkerLoop() {
@@ -124,7 +143,25 @@ void ExplainService::WorkerLoop() {
     }
     space_cv_.notify_all();
     for (Request& req : batch) {
-      Result<ExplainResult> result = Process(req.sql);
+      Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
+        double remaining = 0.0;
+        if (req.budget_ms > 0.0) {
+          double waited_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - req.enqueued)
+                  .count();
+          remaining = req.budget_ms - waited_ms;
+          if (remaining <= 0.0) {
+            // The budget died in the queue: shed the request before any
+            // analysis/retrieval/generation is spent on it.
+            metrics_.early_rejections.Inc();
+            return Status::DeadlineExceeded(
+                "request budget exhausted while queued");
+          }
+        }
+        return Process(req.sql, remaining);
+      }();
+      RecordDegradation(result);
       // Count before fulfilling the promise so a caller who wakes from the
       // future already sees this request in Stats().
       metrics_.completed.Inc();
@@ -133,7 +170,29 @@ void ExplainService::WorkerLoop() {
   }
 }
 
-Result<ExplainResult> ExplainService::Process(const std::string& sql) {
+void ExplainService::RecordDegradation(const Result<ExplainResult>& result) {
+  if (!result.ok()) {
+    metrics_.degraded_failed.Inc();
+    return;
+  }
+  switch (result->degradation) {
+    case DegradationLevel::kFull:
+      metrics_.degraded_full.Inc();
+      break;
+    case DegradationLevel::kBaselineFallback:
+      metrics_.degraded_baseline.Inc();
+      break;
+    case DegradationLevel::kPlanDiffOnly:
+      metrics_.degraded_plan_diff.Inc();
+      break;
+    case DegradationLevel::kFailed:
+      metrics_.degraded_failed.Inc();
+      break;
+  }
+}
+
+Result<ExplainResult> ExplainService::Process(const std::string& sql,
+                                              double budget_ms) {
   PreparedQuery prepared;
   {
     auto r = explainer_->Prepare(sql);
@@ -178,7 +237,7 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql) {
 
   Result<ExplainResult> result = [&] {
     std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
-    return explainer_->ExplainPrepared(std::move(prepared));
+    return explainer_->ExplainPrepared(std::move(prepared), budget_ms);
   }();
   if (!result.ok()) {
     metrics_.errors.Inc();
@@ -195,7 +254,10 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql) {
   metrics_.generate.Record(result->generation.timing.total_ms());
   metrics_.end_to_end.Record(result->end_to_end_ms());
 
-  if (config_.cache_enabled) {
+  if (config_.cache_enabled &&
+      result->degradation == DegradationLevel::kFull) {
+    // Only full-pipeline answers are cached: a degraded explanation must
+    // not keep being served from the cache after the dependency recovers.
     auto cached = std::make_shared<CachedExplanation>();
     cached->embedding = result->embedding;
     cached->truth = result->truth;
@@ -218,6 +280,10 @@ Status ExplainService::IncorporateCorrection(const ExplainResult& result) {
   return status;
 }
 
-ServiceStats ExplainService::Stats() const { return SnapshotMetrics(metrics_); }
+ServiceStats ExplainService::Stats() const {
+  ServiceStats stats = SnapshotMetrics(metrics_);
+  stats.resilience = explainer_->ResilienceSnapshot();
+  return stats;
+}
 
 }  // namespace htapex

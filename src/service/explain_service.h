@@ -1,6 +1,7 @@
 #ifndef HTAPEX_SERVICE_EXPLAIN_SERVICE_H_
 #define HTAPEX_SERVICE_EXPLAIN_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -65,18 +66,32 @@ class ExplainService {
   ExplainService& operator=(const ExplainService&) = delete;
 
   /// Enqueues a query; blocks while the queue is full. The future resolves
-  /// when a worker finishes it.
-  std::future<Result<ExplainResult>> Submit(std::string sql);
+  /// when a worker finishes it. After Shutdown() the future resolves
+  /// immediately with a typed Unavailable status.
+  ///
+  /// `budget_ms` > 0 sets a per-request deadline: a request whose queue
+  /// wait already exceeds the budget is rejected at dequeue with
+  /// DeadlineExceeded (cheap load shedding — no analysis, retrieval or
+  /// generation is spent on a request nobody is still waiting for), and
+  /// whatever budget survives the queue caps the simulated time the LLM
+  /// resilience chain may burn. Queue wait is real wall time; processing
+  /// is simulated LLM time — the two are deliberately compared against the
+  /// one budget (documented approximation; both are "time the caller
+  /// waits" in the modelled deployment).
+  std::future<Result<ExplainResult>> Submit(std::string sql,
+                                            double budget_ms = 0.0);
 
   /// Enqueues a whole batch under one lock acquisition (chunked by the
   /// queue capacity, blocking for space as needed). Per-request mutex and
   /// wakeup traffic is what limits a high-QPS producer; batching amortizes
-  /// it. Futures are returned in input order.
+  /// it. Futures are returned in input order; on a shutdown race the
+  /// un-enqueued remainder resolves with Unavailable.
   std::vector<std::future<Result<ExplainResult>>> SubmitBatch(
-      std::vector<std::string> sqls);
+      std::vector<std::string> sqls, double budget_ms = 0.0);
 
   /// Convenience: Submit + wait.
-  Result<ExplainResult> ExplainSync(const std::string& sql);
+  Result<ExplainResult> ExplainSync(const std::string& sql,
+                                    double budget_ms = 0.0);
 
   /// Expert feedback loop, safe to call while explanations are in flight.
   Status IncorporateCorrection(const ExplainResult& result);
@@ -85,8 +100,10 @@ class ExplainService {
   ServiceStats Stats() const;
   ShardedExplainCache::Stats CacheStats() const { return cache_.GetStats(); }
 
-  /// Stops accepting work, drains the queue, joins workers. Idempotent;
-  /// also run by the destructor.
+  /// Stops accepting work, lets workers drain the queue, joins them, then
+  /// deterministically fails any request that somehow remains queued (typed
+  /// Unavailable) so no future is ever abandoned. Idempotent; also run by
+  /// the destructor.
   void Shutdown();
 
   const ServiceConfig& config() const { return config_; }
@@ -95,10 +112,14 @@ class ExplainService {
   struct Request {
     std::string sql;
     std::promise<Result<ExplainResult>> promise;
+    double budget_ms = 0.0;  // 0 = unbounded
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();
-  Result<ExplainResult> Process(const std::string& sql);
+  Result<ExplainResult> Process(const std::string& sql, double budget_ms);
+  /// Counts the result against the degradation-mix counters.
+  void RecordDegradation(const Result<ExplainResult>& result);
 
   HtapExplainer* explainer_;
   ServiceConfig config_;

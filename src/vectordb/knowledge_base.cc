@@ -1,10 +1,30 @@
 #include "vectordb/knowledge_base.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/json.h"
+#include "common/string_util.h"
 
 namespace htapex {
+
+namespace {
+
+/// Stable request key for search-fault draws: FNV over the embedding bytes.
+uint64_t HashEmbedding(const std::vector<double>& v) {
+  uint64_t h = 1469598103934665603ull;
+  for (double d : v) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 KnowledgeBase::KnowledgeBase(int dim, IndexMode mode)
     : dim_(dim), mode_(mode), exact_(dim) {
@@ -18,6 +38,15 @@ size_t KnowledgeBase::size() const { return exact_.size(); }
 Result<int> KnowledgeBase::Insert(KbEntry entry) {
   if (static_cast<int>(entry.embedding.size()) != dim_) {
     return Status::InvalidArgument("embedding dimension mismatch");
+  }
+  if (faults_ != nullptr) {
+    // Drawn before any mutation, so a fired fault leaves the KB untouched
+    // and the caller can safely retry.
+    uint64_t ordinal = insert_draws_.fetch_add(1, std::memory_order_relaxed);
+    if (faults_->Draw(kFaultKbInsert, Fnv1a64(entry.sql), ordinal).fired) {
+      return Status::Unavailable(
+          "kb.insert fault injected (transient write contention)");
+    }
   }
   int id;
   HTAPEX_ASSIGN_OR_RETURN(id, exact_.Add(entry.embedding));
@@ -36,11 +65,16 @@ std::vector<const KbEntry*> KnowledgeBase::Retrieve(
     const std::vector<double>& embedding, int k) const {
   if (static_cast<int>(embedding.size()) != dim_ || k <= 0) return {};
   std::vector<SearchHit> hits;
-  if (hnsw_ != nullptr) {
+  bool hnsw_degraded =
+      hnsw_ != nullptr && faults_ != nullptr &&
+      faults_->Draw(kFaultKbHnswSearch, HashEmbedding(embedding), 0).fired;
+  if (hnsw_ != nullptr && !hnsw_degraded) {
     // Over-fetch to compensate for tombstoned entries the graph still holds.
     hits = hnsw_->Search(embedding, k + static_cast<int>(entries_.size()) -
                                         static_cast<int>(size()));
   } else {
+    // Exact path: either configured, or the graceful fallback when the
+    // HNSW graph is fault-injected as unavailable — slower, never wrong.
     hits = exact_.Search(embedding, k);
   }
   std::vector<const KbEntry*> out;

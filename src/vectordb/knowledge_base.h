@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "plan/plan_node.h"
 #include "vectordb/hnsw.h"
@@ -43,6 +44,14 @@ class KnowledgeBase {
   int dim() const { return dim_; }
   size_t size() const;
   IndexMode index_mode() const { return mode_; }
+
+  /// Wires deterministic fault injection into this KB (see common/fault.h).
+  /// `faults` must outlive the KB; nullptr (the default) disables faults.
+  /// Active points: kb.hnsw_search — the HNSW graph "fails" and Retrieve
+  /// degrades gracefully to the exact scan; kb.insert — Insert returns a
+  /// retryable Unavailable, modelling transient write contention.
+  /// Not thread-safe; set before serving traffic.
+  void set_fault_injector(const FaultInjector* faults) { faults_ = faults; }
 
   /// Inserts an entry (its id and sequence are assigned). Fails on
   /// embedding dimension mismatch.
@@ -82,6 +91,11 @@ class KnowledgeBase {
   VectorStore exact_;
   std::unique_ptr<HnswIndex> hnsw_;
   int64_t next_sequence_ = 0;
+  const FaultInjector* faults_ = nullptr;
+  // Ordinal for kb.insert draws: single-threaded insert sequences (KB
+  // bootstrap, benches) replay identically; concurrent inserts only run
+  // under the service's exclusive lock.
+  std::atomic<uint64_t> insert_draws_{0};
 };
 
 }  // namespace htapex

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -195,7 +196,142 @@ TEST_F(ServiceTest, SubmitAfterShutdownFailsCleanly) {
   service.Shutdown();
   auto r = service.Submit("SELECT c_name FROM customer WHERE c_custkey = 1")
                .get();
-  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.ok());
+  // Typed rejection: callers can distinguish "shutting down" from a bad
+  // query or an exhausted dependency.
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // Batch submissions racing shutdown resolve every future the same way.
+  auto futures = service.SubmitBatch(
+      {"SELECT c_name FROM customer WHERE c_custkey = 2",
+       "SELECT c_name FROM customer WHERE c_custkey = 3"});
+  ASSERT_EQ(futures.size(), 2u);
+  for (auto& f : futures) {
+    auto br = f.get();
+    ASSERT_FALSE(br.ok());
+    EXPECT_EQ(br.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST_F(ServiceTest, OverBudgetRequestRejectedAtDequeue) {
+  ServiceConfig config;
+  config.num_workers = 1;  // the second request must wait for the first
+  config.cache_enabled = false;
+  // Make the first request cost real wall time (~10 ms: simulated LLM
+  // thinking+generation at 1/1000 scale) so the second demonstrably
+  // overstays its budget in the queue.
+  config.llm_wall_scale = 0.001;
+  ExplainService service(explainer_, config);
+  auto first =
+      service.Submit("SELECT c_name FROM customer WHERE c_custkey = 11");
+  auto second =
+      service.Submit("SELECT c_name FROM customer WHERE c_custkey = 12",
+                     /*budget_ms=*/0.01);
+  auto r1 = first.get();
+  EXPECT_TRUE(r1.ok()) << r1.status();
+  auto r2 = second.get();
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kDeadlineExceeded);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.early_rejections, 1u) << stats.ToString();
+  EXPECT_EQ(stats.degraded_failed, 1u) << stats.ToString();
+}
+
+TEST_F(ServiceTest, ChaosFaultsDegradeGracefullyWithoutLosses) {
+  // 8 workers under a 20% transient + 10% timeout LLM fault rate (plus KB
+  // search/insert faults), with concurrent expert corrections. The chaos
+  // invariants: every future resolves (no deadlock, no lost promises),
+  // nothing hard-fails (every valid query is answered at SOME rung of the
+  // degradation ladder), the degradation tags are valid, and the service's
+  // counters reconcile with what the callers observed.
+  ASSERT_TRUE(explainer_
+                  ->ConfigureFaults(
+                      "llm.transient_error:p=0.2;llm.timeout:p=0.1;"
+                      "llm.garbled_output:p=0.05;kb.hnsw_search:p=0.2;"
+                      "kb.insert:p=0.1",
+                      /*fault_seed=*/1337)
+                  .ok());
+
+  constexpr int kQueries = 96;
+  constexpr int kCorrections = 6;
+  const size_t kb_before = explainer_->knowledge_base().size();
+  std::atomic<int> answered{0};
+  std::atomic<int> degraded{0};
+  std::atomic<int> invalid_tags{0};
+  std::atomic<int> correction_ok{0};
+  {
+    ServiceConfig config;
+    config.num_workers = 8;
+    config.cache_enabled = false;  // every request exercises the ladder
+    ExplainService service(explainer_, config);
+
+    QueryGenerator gen(system_->config().stats_scale_factor, /*seed=*/0xc4a5);
+    std::vector<std::string> sqls;
+    for (const GeneratedQuery& q : gen.GenerateMix(kQueries)) {
+      sqls.push_back(q.sql);
+    }
+    QueryGenerator correction_gen(system_->config().stats_scale_factor,
+                                  /*seed=*/0xc0ffee);
+    std::vector<std::string> correction_sqls;
+    for (const GeneratedQuery& q : correction_gen.GenerateMix(kCorrections)) {
+      correction_sqls.push_back(q.sql);
+    }
+
+    std::thread corrector([&] {
+      for (const std::string& sql : correction_sqls) {
+        auto r = service.ExplainSync(sql);
+        if (!r.ok()) continue;
+        // Retried internally on injected kb.insert faults.
+        if (service.IncorporateCorrection(*r).ok()) correction_ok.fetch_add(1);
+      }
+    });
+    auto futures = service.SubmitBatch(sqls);
+    ASSERT_EQ(futures.size(), sqls.size());
+    for (auto& fut : futures) {
+      // A hang here is the deadlock the chaos test exists to catch.
+      ASSERT_EQ(fut.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready);
+      auto r = fut.get();
+      ASSERT_TRUE(r.ok()) << r.status();  // faults degrade, never hard-fail
+      switch (r->degradation) {
+        case DegradationLevel::kFull:
+          answered.fetch_add(1);
+          break;
+        case DegradationLevel::kBaselineFallback:
+        case DegradationLevel::kPlanDiffOnly:
+          answered.fetch_add(1);
+          degraded.fetch_add(1);
+          EXPECT_FALSE(r->degradation_reason.empty());
+          break;
+        default:
+          invalid_tags.fetch_add(1);
+      }
+      // Degraded or not, an answer carries a grade and non-garbled text.
+      EXPECT_FALSE(r->generation.text.empty());
+    }
+    corrector.join();
+
+    EXPECT_EQ(answered.load(), kQueries);
+    EXPECT_EQ(invalid_tags.load(), 0);
+    EXPECT_EQ(correction_ok.load(), kCorrections);
+    EXPECT_EQ(explainer_->knowledge_base().size(),
+              kb_before + static_cast<size_t>(correction_ok.load()));
+
+    ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.errors, 0u) << stats.ToString();
+    EXPECT_EQ(stats.completed,
+              static_cast<uint64_t>(kQueries + kCorrections));
+    // The degradation mix partitions the completed requests.
+    EXPECT_EQ(stats.degraded_full + stats.degraded_baseline +
+                  stats.degraded_plan_diff + stats.degraded_failed,
+              stats.completed)
+        << stats.ToString();
+    // Under 30%+ combined fault pressure the resilience layer must have
+    // actually done something.
+    EXPECT_GT(stats.resilience.llm_retries, 0u) << stats.ToString();
+    EXPECT_GT(stats.resilience.llm_attempts, stats.resilience.llm_retries);
+  }
+  // Restore a fault-free explainer for any later test using the fixture.
+  ASSERT_TRUE(explainer_->ConfigureFaults("off", 42).ok());
 }
 
 TEST(ExplainCacheTest, QuantizedKeyAndThreshold) {
