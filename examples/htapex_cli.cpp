@@ -22,16 +22,32 @@
 // explanation pipeline degrades instead of failing: RAG -> DBG-PT
 // baseline -> plan-diff report; degraded answers are tagged in the output.
 // --faults=off forces a clean run even when HTAPEX_FAULTS is set.
+//
+// Durability (crash-safe knowledge base, see src/durable/):
+//   --data-dir=PATH   persist every KB mutation to a checksummed WAL with
+//                     periodic atomic snapshots under PATH. On startup, if
+//                     PATH holds state the KB is recovered from it (the
+//                     default curated KB is NOT rebuilt); otherwise PATH is
+//                     initialized from the default KB.
+//   --recover         require recovery: fail instead of initializing a
+//                     fresh directory (guards against a typo'd path
+//                     silently starting empty).
+// Extra interactive commands with --data-dir:
+//   \correct <id> <text>  replace an entry's explanation (logged + durable)
+//   \expire <id>          tombstone an entry (logged + durable)
+//   \snapshot             install a snapshot now and report durability stats
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/htap_explainer.h"
 #include "core/report.h"
 #include "common/string_util.h"
+#include "durable/durable_kb.h"
 #include "service/explain_service.h"
 
 namespace {
@@ -62,10 +78,11 @@ void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
 /// --serve: batch mode over the concurrent service. Queries come from
 /// stdin (one per line; ';' suffix tolerated), or the demo set repeated 4x
 /// when stdin is a terminal so the cache has something to hit.
-int RunServe(HtapExplainer* explainer, int workers,
-             const char* const* demo, size_t demo_count) {
+int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
+             int workers, const char* const* demo, size_t demo_count) {
   ServiceConfig config;
   config.num_workers = workers;
+  config.durable = durable;
   ExplainService service(explainer, config);
 
   std::vector<std::string> sqls;
@@ -116,11 +133,22 @@ int main(int argc, char** argv) {
   if (!system.Init(sys_config).ok()) return 1;
 
   ExplainerConfig config;
-  // Pull --faults= / --fault-seed= out of argv wherever they appear; the
-  // remaining positional args keep their existing meaning.
+  std::string data_dir;
+  bool require_recovery = false;
+  // Pull --faults= / --fault-seed= / --data-dir= / --recover out of argv
+  // wherever they appear; the remaining positional args keep their
+  // existing meaning.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+    if (std::strncmp(argv[i], "--data-dir=", 11) == 0) {
+      data_dir = argv[i] + 11;
+      if (data_dir.empty()) {
+        std::fprintf(stderr, "--data-dir needs a path\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      require_recovery = true;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       config.faults = argv[i] + 9;
       if (config.faults.empty()) config.faults = "off";
       // Validate eagerly: a typo'd point name should fail the invocation,
@@ -148,10 +176,55 @@ int main(int argc, char** argv) {
                 explainer.faults().ToString().c_str(),
                 static_cast<unsigned long long>(explainer.faults().seed()));
   }
+  if (require_recovery && data_dir.empty()) {
+    std::fprintf(stderr, "--recover needs --data-dir=PATH\n");
+    return 2;
+  }
   std::printf("training smart router...\n");
   auto train = explainer.TrainRouter();
   if (!train.ok()) return 1;
-  if (!explainer.BuildDefaultKnowledgeBase().ok()) return 1;
+
+  // Crash-safe KB persistence: recover from --data-dir when it has state,
+  // otherwise seed it from the default curated KB (unless --recover, which
+  // treats an uninitialized directory as an error).
+  std::unique_ptr<DurableKnowledgeBase> durable;
+  if (!data_dir.empty()) {
+    DurabilityOptions dopt;
+    dopt.dir = data_dir;
+    dopt.snapshot_every_n = 32;
+    durable = std::make_unique<DurableKnowledgeBase>(dopt);
+    if (explainer.faults().enabled()) {
+      durable->set_fault_injector(&explainer.faults());
+    }
+    bool has_state = DurableKnowledgeBase::HasState(data_dir);
+    if (!has_state) {
+      if (require_recovery) {
+        std::fprintf(stderr, "--recover: no durable state in %s\n",
+                     data_dir.c_str());
+        return 2;
+      }
+      if (!explainer.BuildDefaultKnowledgeBase().ok()) return 1;
+    }
+    auto info = durable->Attach(&explainer.mutable_knowledge_base());
+    if (!info.ok()) {
+      std::fprintf(stderr, "durability attach failed: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    if (info->recovered) {
+      std::printf(
+          "recovered KB from %s: %zu snapshot entries + %llu WAL records "
+          "in %.1f ms%s\n",
+          data_dir.c_str(), info->snapshot_entries,
+          static_cast<unsigned long long>(info->replayed_records),
+          info->recovery_ms,
+          info->snapshot_fallbacks > 0 ? " (fell back a generation)" : "");
+    } else {
+      std::printf("initialized durable KB state in %s\n", data_dir.c_str());
+    }
+  } else {
+    if (!explainer.BuildDefaultKnowledgeBase().ok()) return 1;
+  }
   std::printf("ready: router %.0f%% train accuracy, KB %zu entries, K=%d\n\n",
               100 * train->train_accuracy, explainer.knowledge_base().size(),
               explainer.config().retrieval_k);
@@ -165,7 +238,7 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
     int workers = argc > 2 ? std::atoi(argv[2]) : 4;
     if (workers < 1) workers = 4;
-    return RunServe(&explainer, workers, demo,
+    return RunServe(&explainer, durable.get(), workers, demo,
                     sizeof(demo) / sizeof(demo[0]));
   }
   bool demo_mode = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
@@ -193,6 +266,35 @@ int main(int argc, char** argv) {
       for (const KbEntry* e : explainer.knowledge_base().Entries()) {
         std::printf("[%2d] %s faster | %.60s...\n", e->id,
                     EngineName(e->faster), e->sql.c_str());
+      }
+    } else if (sql.rfind("\\correct ", 0) == 0) {
+      // \correct <id> <new explanation> — the expert feedback loop,
+      // write-ahead logged when --data-dir is active.
+      char* end = nullptr;
+      long id = std::strtol(sql.c_str() + 9, &end, 10);
+      std::string text(Trim(end == nullptr ? "" : end));
+      if (text.empty()) {
+        std::printf("usage: \\correct <id> <new explanation>\n");
+      } else {
+        Status st = explainer.mutable_knowledge_base().CorrectExplanation(
+            static_cast<int>(id), text);
+        std::printf("%s\n", st.ok() ? "corrected" : st.ToString().c_str());
+      }
+    } else if (sql.rfind("\\expire ", 0) == 0) {
+      Status st = explainer.mutable_knowledge_base().Expire(
+          std::atoi(sql.c_str() + 8));
+      std::printf("%s\n", st.ok() ? "expired" : st.ToString().c_str());
+    } else if (sql == "\\snapshot") {
+      if (durable == nullptr) {
+        std::printf("no durable state (run with --data-dir=PATH)\n");
+      } else {
+        Status st = durable->Snapshot();
+        if (!st.ok()) {
+          std::printf("snapshot failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("snapshot installed; %s\n",
+                      durable->StatsSnapshot().ToString().c_str());
+        }
       }
     } else if (sql.rfind("\\report ", 0) == 0) {
       auto result = explainer.Explain(sql.substr(8));

@@ -1,0 +1,22 @@
+#ifndef HTAPEX_COMMON_CRC32_H_
+#define HTAPEX_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace htapex {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum the
+/// durable write-ahead log uses to frame records: cheap, table-driven, and
+/// good enough to catch torn writes and bit rot on replay. Incremental use:
+/// pass the previous return value as `seed` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace htapex
+
+#endif  // HTAPEX_COMMON_CRC32_H_

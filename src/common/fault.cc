@@ -12,7 +12,9 @@ namespace {
 bool IsKnownPoint(std::string_view name) {
   return name == kFaultLlmTimeout || name == kFaultLlmTransient ||
          name == kFaultLlmGarbled || name == kFaultLlmSlow ||
-         name == kFaultKbHnswSearch || name == kFaultKbInsert;
+         name == kFaultKbHnswSearch || name == kFaultKbInsert ||
+         name == kFaultWalAppend || name == kFaultWalFsync ||
+         name == kFaultSnapshotWrite || name == kFaultSnapshotRename;
 }
 
 uint64_t Mix64(uint64_t x) {

@@ -21,6 +21,14 @@ inline constexpr char kFaultLlmGarbled[] = "llm.garbled_output";
 inline constexpr char kFaultLlmSlow[] = "llm.slow_generation";
 inline constexpr char kFaultKbHnswSearch[] = "kb.hnsw_search";
 inline constexpr char kFaultKbInsert[] = "kb.insert";
+// Durability crash points (src/durable/): a fired draw simulates the
+// process dying at that instant of the write path — a torn WAL append, a
+// crash before fsync (the unsynced suffix is lost), a half-written
+// snapshot temp file, or a crash before the atomic snapshot rename.
+inline constexpr char kFaultWalAppend[] = "wal.append";
+inline constexpr char kFaultWalFsync[] = "wal.fsync";
+inline constexpr char kFaultSnapshotWrite[] = "snapshot.write";
+inline constexpr char kFaultSnapshotRename[] = "snapshot.rename";
 
 /// Per-point injection parameters.
 struct FaultSpec {

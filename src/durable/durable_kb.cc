@@ -1,0 +1,563 @@
+#include "durable/durable_kb.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/json.h"
+#include "common/sim_clock.h"
+#include "common/string_util.h"
+
+namespace htapex {
+
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+
+Status WriteAllFd(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("write failed: %s",
+                                       std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) text.append(buf, n);
+  std::fclose(fp);
+  return text;
+}
+
+/// Durably replaces `path`: temp file, fsync, atomic rename, dir fsync.
+Status WriteFileAtomic(const std::string& path, std::string_view text) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::IoError("cannot open " + tmp);
+  Status st = WriteAllFd(fd, text.data(), text.size());
+  if (st.ok() && ::fsync(fd) != 0) st = Status::IoError("fsync " + tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+/// Makes a rename/create visible after a crash (best effort — a failure
+/// here only widens the crash window, it cannot corrupt anything).
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+DurableKnowledgeBase::DurableKnowledgeBase(DurabilityOptions options)
+    : options_(std::move(options)) {
+  if (options_.fsync_every_n < 1) options_.fsync_every_n = 1;
+  if (options_.keep_generations < 1) options_.keep_generations = 1;
+}
+
+DurableKnowledgeBase::~DurableKnowledgeBase() { Detach(); }
+
+void DurableKnowledgeBase::Detach() {
+  if (kb_ != nullptr && kb_->mutation_sink() == this) {
+    kb_->set_mutation_sink(nullptr);
+  }
+  kb_ = nullptr;
+}
+
+bool DurableKnowledgeBase::HasState(const std::string& dir) {
+  return FileExists(dir + "/" + kManifestFile);
+}
+
+void DurableKnowledgeBase::set_fault_injector(const FaultInjector* faults) {
+  faults_ = faults;
+  wal_.set_fault_injector(faults);
+}
+
+std::string DurableKnowledgeBase::SegmentPath(uint64_t segment) const {
+  return options_.dir +
+         StrFormat("/wal-%06llu.log",
+                   static_cast<unsigned long long>(segment));
+}
+
+std::string DurableKnowledgeBase::SnapshotPath(
+    const std::string& file) const {
+  return options_.dir + "/" + file;
+}
+
+std::string DurableKnowledgeBase::SerializeKbState() const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("dim", JsonValue::Int(kb_->dim()));
+  root.Set("next_sequence", JsonValue::Int(kb_->next_sequence()));
+  JsonValue items = JsonValue::MakeArray();
+  for (int id = 0; id < static_cast<int>(kb_->total_entries()); ++id) {
+    const KbEntry* e = kb_->RawGet(id);
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("id", JsonValue::Int(e->id));
+    item.Set("sql", JsonValue::String(e->sql));
+    JsonValue emb = JsonValue::MakeArray();
+    for (double v : e->embedding) emb.Append(JsonValue::Double(v));
+    item.Set("embedding", std::move(emb));
+    item.Set("tp_plan", JsonValue::String(e->tp_plan_json));
+    item.Set("ap_plan", JsonValue::String(e->ap_plan_json));
+    item.Set("faster", JsonValue::String(EngineName(e->faster)));
+    item.Set("tp_latency_ms", JsonValue::Double(e->tp_latency_ms));
+    item.Set("ap_latency_ms", JsonValue::Double(e->ap_latency_ms));
+    item.Set("explanation", JsonValue::String(e->expert_explanation));
+    item.Set("sequence", JsonValue::Int(e->sequence));
+    item.Set("expired", JsonValue::Bool(kb_->IsExpired(id)));
+    items.Append(std::move(item));
+  }
+  root.Set("entries", std::move(items));
+  return root.Dump();
+}
+
+Status DurableKnowledgeBase::RestoreKbState(const std::string& text,
+                                            size_t* entries_restored) {
+  JsonValue root;
+  HTAPEX_ASSIGN_OR_RETURN(root, JsonValue::Parse(text));
+  if (root.GetInt("dim") != kb_->dim()) {
+    return Status::InvalidArgument(
+        "snapshot dimension does not match knowledge base");
+  }
+  const JsonValue* items = root.Find("entries");
+  if (items == nullptr || !items->is_array()) {
+    return Status::ParseError("snapshot missing entries array");
+  }
+  for (const JsonValue& item : items->array()) {
+    KbEntry e;
+    e.id = static_cast<int>(item.GetInt("id", -1));
+    e.sql = item.GetString("sql");
+    const JsonValue* emb = item.Find("embedding");
+    if (emb == nullptr || !emb->is_array()) {
+      return Status::ParseError("snapshot entry missing embedding");
+    }
+    for (const JsonValue& v : emb->array()) {
+      e.embedding.push_back(v.double_value());
+    }
+    e.tp_plan_json = item.GetString("tp_plan");
+    e.ap_plan_json = item.GetString("ap_plan");
+    e.faster =
+        item.GetString("faster") == "AP" ? EngineKind::kAp : EngineKind::kTp;
+    e.tp_latency_ms = item.GetDouble("tp_latency_ms");
+    e.ap_latency_ms = item.GetDouble("ap_latency_ms");
+    e.expert_explanation = item.GetString("explanation");
+    e.sequence = item.GetInt("sequence", 0);
+    HTAPEX_RETURN_IF_ERROR(kb_->Restore(std::move(e),
+                                        item.GetBool("expired")));
+    ++*entries_restored;
+  }
+  // Every insert ever made stays in the snapshot (expiry only tombstones),
+  // so the restored counter must equal the persisted one — a mismatch
+  // means the snapshot lied despite its checksum.
+  if (kb_->next_sequence() != root.GetInt("next_sequence", 0)) {
+    return Status::Internal("snapshot sequence counter inconsistent");
+  }
+  return Status::OK();
+}
+
+Status DurableKnowledgeBase::WriteManifest(const Manifest& manifest) const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("next_gen", JsonValue::Int(static_cast<int64_t>(manifest.next_gen)));
+  root.Set("next_segment",
+           JsonValue::Int(static_cast<int64_t>(manifest.next_segment)));
+  JsonValue gens = JsonValue::MakeArray();
+  for (const Generation& g : manifest.generations) {
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("gen", JsonValue::Int(static_cast<int64_t>(g.gen)));
+    item.Set("snapshot", JsonValue::String(g.snapshot_file));
+    item.Set("crc", JsonValue::Int(static_cast<int64_t>(g.crc)));
+    item.Set("wal_segment",
+             JsonValue::Int(static_cast<int64_t>(g.wal_segment)));
+    item.Set("wal_offset",
+             JsonValue::Int(static_cast<int64_t>(g.wal_offset)));
+    gens.Append(std::move(item));
+  }
+  root.Set("generations", std::move(gens));
+  std::string path = options_.dir + "/" + kManifestFile;
+  HTAPEX_RETURN_IF_ERROR(WriteFileAtomic(path, root.Dump()));
+  FsyncDir(options_.dir);
+  return Status::OK();
+}
+
+Result<DurableKnowledgeBase::Manifest> DurableKnowledgeBase::ReadManifest()
+    const {
+  std::string text;
+  HTAPEX_ASSIGN_OR_RETURN(
+      text, ReadFileToString(options_.dir + "/" + kManifestFile));
+  JsonValue root;
+  HTAPEX_ASSIGN_OR_RETURN(root, JsonValue::Parse(text));
+  Manifest manifest;
+  manifest.next_gen = static_cast<uint64_t>(root.GetInt("next_gen"));
+  manifest.next_segment = static_cast<uint64_t>(root.GetInt("next_segment"));
+  const JsonValue* gens = root.Find("generations");
+  if (gens == nullptr || !gens->is_array()) {
+    return Status::ParseError("manifest missing generations");
+  }
+  for (const JsonValue& item : gens->array()) {
+    Generation g;
+    g.gen = static_cast<uint64_t>(item.GetInt("gen"));
+    g.snapshot_file = item.GetString("snapshot");
+    g.crc = static_cast<uint32_t>(item.GetInt("crc"));
+    g.wal_segment = static_cast<uint64_t>(item.GetInt("wal_segment"));
+    g.wal_offset = static_cast<uint64_t>(item.GetInt("wal_offset"));
+    if (g.snapshot_file.empty() ||
+        g.snapshot_file.find('/') != std::string::npos) {
+      return Status::ParseError("manifest generation has a bad snapshot name");
+    }
+    manifest.generations.push_back(std::move(g));
+  }
+  return manifest;
+}
+
+void DurableKnowledgeBase::RemoveOrphanTempFiles() const {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+void DurableKnowledgeBase::CollectGarbage() {
+  if (manifest_.generations.empty()) return;
+  const Generation& oldest = manifest_.generations.front();
+  std::set<std::string> kept_snapshots;
+  for (const Generation& g : manifest_.generations) {
+    kept_snapshots.insert(g.snapshot_file);
+  }
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long num = 0;
+    bool remove = false;
+    if (std::sscanf(name.c_str(), "wal-%6llu.log", &num) == 1 &&
+        EndsWith(name, ".log")) {
+      remove = num < oldest.wal_segment;
+    } else if (std::sscanf(name.c_str(), "snapshot-%6llu.json", &num) == 1 &&
+               EndsWith(name, ".json")) {
+      // Orphans from a crashed manifest update keep a gen >= the newest
+      // kept one; only provably superseded generations are deleted.
+      remove = num < oldest.gen && kept_snapshots.count(name) == 0;
+    }
+    if (remove) {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) {
+        metrics_.gc_files.Inc();
+      }
+    }
+  }
+}
+
+Result<RecoveryInfo> DurableKnowledgeBase::Attach(KnowledgeBase* kb) {
+  if (kb_ != nullptr) {
+    return Status::Internal("durable knowledge base already attached");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create data dir " + options_.dir);
+  }
+  RemoveOrphanTempFiles();
+  kb_ = kb;
+  RecoveryInfo info;
+  if (HasState(options_.dir)) {
+    if (kb->next_sequence() != 0 || kb->total_entries() != 0) {
+      kb_ = nullptr;
+      return Status::InvalidArgument(
+          "cannot recover into a knowledge base that already has entries");
+    }
+    auto manifest = ReadManifest();
+    if (!manifest.ok()) {
+      kb_ = nullptr;
+      return manifest.status();
+    }
+    auto recovered = Recover(*manifest);
+    if (!recovered.ok()) {
+      kb_ = nullptr;
+      return recovered.status();
+    }
+    info = *recovered;
+  } else {
+    Status st = Bootstrap();
+    if (!st.ok()) {
+      kb_ = nullptr;
+      return st;
+    }
+  }
+  kb_->set_mutation_sink(this);
+  return info;
+}
+
+Status DurableKnowledgeBase::Bootstrap() {
+  manifest_ = Manifest{};
+  // The bootstrap snapshot turns whatever the KB already holds (typically
+  // the paper's default 20-entry KB) into generation 0, so durability
+  // covers the curated seed as well as future mutations.
+  return Snapshot();
+}
+
+Result<RecoveryInfo> DurableKnowledgeBase::Recover(const Manifest& manifest) {
+  WallTimer timer;
+  RecoveryInfo info;
+  info.recovered = true;
+
+  // Newest generation whose snapshot bytes still match their checksum;
+  // corrupt generations are skipped (the fallback path).
+  const Generation* chosen = nullptr;
+  std::string state_text;
+  for (auto it = manifest.generations.rbegin();
+       it != manifest.generations.rend(); ++it) {
+    auto text = ReadFileToString(SnapshotPath(it->snapshot_file));
+    if (text.ok() && Crc32(*text) == it->crc) {
+      chosen = &*it;
+      state_text = std::move(*text);
+      break;
+    }
+    info.snapshot_fallbacks += 1;
+    metrics_.snapshot_fallbacks.Inc();
+  }
+  if (chosen == nullptr) {
+    return Status::IoError(
+        "no snapshot generation survived checksum verification");
+  }
+  size_t restored = 0;
+  HTAPEX_RETURN_IF_ERROR(RestoreKbState(state_text, &restored));
+  info.snapshot_entries = restored;
+
+  // Replay the WAL from the chosen generation's segment through every
+  // later segment on disk (rotation keeps segment numbers contiguous).
+  // KB-level fault injection is suspended: replay re-applies mutations
+  // that already committed once — they must not fail a second time.
+  const FaultInjector* kb_faults = kb_->fault_injector();
+  kb_->set_fault_injector(nullptr);
+  auto apply = [this](const WalRecord& record) -> Status {
+    switch (record.op) {
+      case WalRecord::Op::kInsert:
+        return kb_->Insert(record.entry).status();
+      case WalRecord::Op::kCorrect:
+        return kb_->CorrectExplanation(record.id, record.text);
+      case WalRecord::Op::kExpire:
+        return kb_->Expire(record.id);
+    }
+    return Status::Internal("unreachable wal op");
+  };
+  Status replay_status = Status::OK();
+  bool bad_history = false;
+  uint64_t last_segment = chosen->wal_segment;
+  for (uint64_t seg = chosen->wal_segment;; ++seg) {
+    std::string path = SegmentPath(seg);
+    if (!FileExists(path)) break;
+    last_segment = seg;
+    bool is_last = !FileExists(SegmentPath(seg + 1));
+    WalReplayStats stats;
+    replay_status = ReplayWalSegment(path, is_last, apply, &stats);
+    info.replayed_records += stats.replayed;
+    info.truncated_records += stats.truncated;
+    info.corrupt_records += stats.corrupt;
+    metrics_.replayed_records.Inc(stats.replayed);
+    metrics_.truncated_records.Inc(stats.truncated);
+    metrics_.corrupt_records.Inc(stats.corrupt);
+    if (!replay_status.ok()) break;
+    if (stats.corrupt > 0) {
+      // Anything after the corruption is unordered garbage; stop here and
+      // re-anchor below with a fresh snapshot of what was salvaged.
+      bad_history = true;
+      break;
+    }
+  }
+  kb_->set_fault_injector(kb_faults);
+  HTAPEX_RETURN_IF_ERROR(replay_status);
+
+  manifest_ = manifest;
+  manifest_.next_segment = std::max(manifest_.next_segment, last_segment + 1);
+  if (bad_history) {
+    // Mid-history corruption detected: a new snapshot + segment makes the
+    // salvaged state the authoritative root, so future appends are never
+    // stranded behind the corrupt bytes.
+    HTAPEX_RETURN_IF_ERROR(Snapshot());
+  } else {
+    auto writer = WalWriter::Open(SegmentPath(last_segment), &metrics_);
+    if (!writer.ok()) return writer.status();
+    wal_ = std::move(writer).value();
+    wal_.set_fault_injector(faults_);
+  }
+  appends_since_sync_ = 0;
+  mutations_since_snapshot_ = 0;
+
+  info.recovery_ms = timer.ElapsedMillis();
+  metrics_.recoveries.Inc();
+  metrics_.recovery_micros.Inc(
+      static_cast<uint64_t>(std::llround(info.recovery_ms * 1000.0)));
+  return info;
+}
+
+Status DurableKnowledgeBase::Snapshot() {
+  if (kb_ == nullptr) {
+    return Status::Internal("durable knowledge base not attached");
+  }
+  auto fail = [this](Status st) {
+    metrics_.snapshot_failures.Inc();
+    return st;
+  };
+  std::string text = SerializeKbState();
+  uint32_t crc = Crc32(text);
+  uint64_t gen = manifest_.next_gen;
+  std::string file = StrFormat("snapshot-%06llu.json",
+                               static_cast<unsigned long long>(gen));
+  std::string final_path = SnapshotPath(file);
+  std::string tmp = final_path + ".tmp";
+
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return fail(Status::IoError("cannot open " + tmp));
+  if (faults_ != nullptr &&
+      faults_->Draw(kFaultSnapshotWrite, gen, 0).fired) {
+    // Simulated crash mid-snapshot: half the bytes land in the temp file,
+    // which never gets renamed — recovery must ignore it entirely.
+    WriteAllFd(fd, text.data(), text.size() / 2);
+    ::close(fd);
+    return fail(
+        Status::IoError("snapshot.write fault injected (crash mid-write)"));
+  }
+  Status st = WriteAllFd(fd, text.data(), text.size());
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IoError("fsync " + tmp);
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return fail(st);
+  }
+  if (faults_ != nullptr &&
+      faults_->Draw(kFaultSnapshotRename, gen, 0).fired) {
+    // Simulated crash between the temp-file fsync and the rename: the
+    // fully written snapshot exists only under its temp name, so it is
+    // invisible to recovery — the previous generation still rules.
+    return fail(Status::IoError(
+        "snapshot.rename fault injected (crash before rename)"));
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(Status::IoError("cannot rename " + tmp));
+  }
+  FsyncDir(options_.dir);
+
+  // Rotate the WAL before publishing the manifest: new records go to the
+  // fresh segment either way, and if the manifest write dies the old
+  // manifest still covers them (old snapshot + old segment + new segment).
+  uint64_t new_segment = manifest_.next_segment;
+  auto writer = WalWriter::Open(SegmentPath(new_segment), &metrics_);
+  if (!writer.ok()) return fail(writer.status());
+  wal_ = std::move(writer).value();
+  wal_.set_fault_injector(faults_);
+  metrics_.wal_rotations.Inc();
+  appends_since_sync_ = 0;
+
+  Manifest next = manifest_;
+  next.next_gen = gen + 1;
+  next.next_segment = new_segment + 1;
+  Generation g;
+  g.gen = gen;
+  g.snapshot_file = file;
+  g.crc = crc;
+  g.wal_segment = new_segment;
+  g.wal_offset = 0;
+  next.generations.push_back(std::move(g));
+  while (static_cast<int>(next.generations.size()) >
+         options_.keep_generations) {
+    next.generations.erase(next.generations.begin());
+  }
+  Status manifest_status = WriteManifest(next);
+  if (!manifest_status.ok()) return fail(manifest_status);
+  manifest_ = std::move(next);
+  metrics_.snapshots.Inc();
+  mutations_since_snapshot_ = 0;
+  CollectGarbage();
+  return Status::OK();
+}
+
+Status DurableKnowledgeBase::LogMutation(const WalRecord& record) {
+  if (kb_ == nullptr) {
+    return Status::Internal("durable knowledge base not attached");
+  }
+  if (options_.snapshot_every_n > 0 &&
+      mutations_since_snapshot_ >=
+          static_cast<uint64_t>(options_.snapshot_every_n)) {
+    // Trigger before appending: the snapshot captures state through the
+    // previous mutation and this record opens the fresh segment. A failed
+    // snapshot aborts the mutation (crash semantics for the injected
+    // points) but leaves the log intact, so the next mutation retries.
+    HTAPEX_RETURN_IF_ERROR(Snapshot());
+  }
+  HTAPEX_RETURN_IF_ERROR(wal_.Append(EncodeWalRecord(record)));
+  mutations_since_snapshot_ += 1;
+  if (++appends_since_sync_ >=
+      static_cast<uint64_t>(options_.fsync_every_n)) {
+    HTAPEX_RETURN_IF_ERROR(wal_.Sync());
+    appends_since_sync_ = 0;
+  }
+  return Status::OK();
+}
+
+Status DurableKnowledgeBase::WillInsert(const KbEntry& entry) {
+  WalRecord record;
+  record.op = WalRecord::Op::kInsert;
+  record.entry = entry;
+  return LogMutation(record);
+}
+
+Status DurableKnowledgeBase::WillCorrect(int id,
+                                         const std::string& new_explanation) {
+  WalRecord record;
+  record.op = WalRecord::Op::kCorrect;
+  record.id = id;
+  record.text = new_explanation;
+  return LogMutation(record);
+}
+
+Status DurableKnowledgeBase::WillExpire(int id) {
+  WalRecord record;
+  record.op = WalRecord::Op::kExpire;
+  record.id = id;
+  return LogMutation(record);
+}
+
+}  // namespace htapex

@@ -165,7 +165,6 @@ Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
                            : FaultDraw{};
 
     double attempt_ms = 0.0;
-    bool failed = true;
     if (timeout.fired) {
       // The caller hangs on the dependency until the deadline, then gives
       // up: a timeout costs exactly the per-attempt deadline.

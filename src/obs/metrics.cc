@@ -141,6 +141,44 @@ std::string ResilienceStats::ToString() const {
       static_cast<unsigned long long>(kb_insert_retries));
 }
 
+DurabilityStats SnapshotDurability(const DurabilityMetrics& metrics) {
+  DurabilityStats s;
+  s.wal_appends = metrics.wal_appends.Value();
+  s.wal_fsyncs = metrics.wal_fsyncs.Value();
+  s.wal_bytes = metrics.wal_bytes.Value();
+  s.wal_rotations = metrics.wal_rotations.Value();
+  s.snapshots = metrics.snapshots.Value();
+  s.snapshot_failures = metrics.snapshot_failures.Value();
+  s.snapshot_fallbacks = metrics.snapshot_fallbacks.Value();
+  s.replayed_records = metrics.replayed_records.Value();
+  s.truncated_records = metrics.truncated_records.Value();
+  s.corrupt_records = metrics.corrupt_records.Value();
+  s.recoveries = metrics.recoveries.Value();
+  s.recovery_micros = metrics.recovery_micros.Value();
+  s.gc_files = metrics.gc_files.Value();
+  return s;
+}
+
+std::string DurabilityStats::ToString() const {
+  return StrFormat(
+      "wal(appends=%llu fsyncs=%llu bytes=%llu rotations=%llu) "
+      "snapshots(ok=%llu failed=%llu fallbacks=%llu) "
+      "replay(records=%llu truncated=%llu corrupt=%llu) "
+      "recoveries=%llu recovery=%.2fms gc_files=%llu",
+      static_cast<unsigned long long>(wal_appends),
+      static_cast<unsigned long long>(wal_fsyncs),
+      static_cast<unsigned long long>(wal_bytes),
+      static_cast<unsigned long long>(wal_rotations),
+      static_cast<unsigned long long>(snapshots),
+      static_cast<unsigned long long>(snapshot_failures),
+      static_cast<unsigned long long>(snapshot_fallbacks),
+      static_cast<unsigned long long>(replayed_records),
+      static_cast<unsigned long long>(truncated_records),
+      static_cast<unsigned long long>(corrupt_records),
+      static_cast<unsigned long long>(recoveries), recovery_ms(),
+      static_cast<unsigned long long>(gc_files));
+}
+
 ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
   ServiceStats s;
   s.requests = metrics.requests.Value();
@@ -194,6 +232,9 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(degraded_failed),
       static_cast<unsigned long long>(early_rejections));
   out += "resilience: " + resilience.ToString() + "\n";
+  if (durability_enabled) {
+    out += "durability: " + durability.ToString() + "\n";
+  }
   out += HistLine("encode", encode) + "\n";
   out += HistLine("cache_lookup", cache_lookup) + "\n";
   out += HistLine("kb_search", kb_search) + "\n";

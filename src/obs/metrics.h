@@ -123,6 +123,63 @@ struct ResilienceStats {
 
 ResilienceStats SnapshotResilience(const ResilienceMetrics& metrics);
 
+/// Counters for the knowledge-base durability subsystem (src/durable/):
+/// WAL traffic, snapshot lifecycle, and what recovery found. Updated by
+/// DurableKnowledgeBase; relaxed atomics like everything else here.
+struct DurabilityMetrics {
+  Counter wal_appends;          // records appended to the WAL
+  Counter wal_fsyncs;           // fsyncs issued on the active segment
+  Counter wal_bytes;            // payload + framing bytes appended
+  Counter wal_rotations;        // segment rotations (one per snapshot)
+  Counter snapshots;            // snapshots durably installed
+  Counter snapshot_failures;    // snapshot attempts aborted (fault/IO)
+  Counter snapshot_fallbacks;   // recoveries that skipped a corrupt newest
+                                // snapshot for an older generation
+  Counter replayed_records;     // WAL records applied during recovery
+  Counter truncated_records;    // torn tails dropped during recovery
+  Counter corrupt_records;      // checksum/framing failures during replay
+  Counter recoveries;           // successful Open() recoveries
+  Counter recovery_micros;      // total recovery wall time, microseconds
+  Counter gc_files;             // superseded segments/snapshots deleted
+
+  /// Zeroes every counter (between-run resets only; see Counter::Reset).
+  void Reset() {
+    for (Counter* c :
+         {&wal_appends, &wal_fsyncs, &wal_bytes, &wal_rotations, &snapshots,
+          &snapshot_failures, &snapshot_fallbacks, &replayed_records,
+          &truncated_records, &corrupt_records, &recoveries, &recovery_micros,
+          &gc_files}) {
+      c->Reset();
+    }
+  }
+};
+
+/// Point-in-time copy of DurabilityMetrics.
+struct DurabilityStats {
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_rotations = 0;
+  uint64_t snapshots = 0;
+  uint64_t snapshot_failures = 0;
+  uint64_t snapshot_fallbacks = 0;
+  uint64_t replayed_records = 0;
+  uint64_t truncated_records = 0;
+  uint64_t corrupt_records = 0;
+  uint64_t recoveries = 0;
+  uint64_t recovery_micros = 0;
+  uint64_t gc_files = 0;
+
+  double recovery_ms() const {
+    return static_cast<double>(recovery_micros) / 1000.0;
+  }
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+DurabilityStats SnapshotDurability(const DurabilityMetrics& metrics);
+
 /// All service-level metrics, updated by ExplainService workers.
 struct ServiceMetrics {
   Counter requests;       // submitted to the service
@@ -162,6 +219,11 @@ struct ServiceStats {
   /// Snapshot of the explainer's resilience counters (retries, breaker
   /// transitions, fallbacks) taken alongside the service counters.
   ResilienceStats resilience;
+
+  /// Durability counters (WAL/snapshot/recovery) when the service fronts a
+  /// DurableKnowledgeBase; all-zero (and not printed) otherwise.
+  bool durability_enabled = false;
+  DurabilityStats durability;
 
   LatencyHistogram::Snapshot encode;
   LatencyHistogram::Snapshot cache_lookup;

@@ -36,7 +36,9 @@ class KbManager {
                                       size_t target_size);
 
   /// Applies SelectStale: expires the returned entries. Returns how many
-  /// were expired.
+  /// were expired. Each expiry goes through KnowledgeBase::Expire, so with
+  /// a durable KB (src/durable/) every expiry is write-ahead logged and a
+  /// shrink survives a crash like any other mutation.
   static Result<int> ShrinkTo(KnowledgeBase* kb, size_t target_size);
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/sim_clock.h"
+#include "durable/durable_kb.h"
 
 namespace htapex {
 
@@ -52,6 +53,12 @@ void ExplainService::Shutdown() {
     metrics_.completed.Inc();
     metrics_.degraded_failed.Inc();
     req.promise.set_value(Status::Unavailable("service is shutting down"));
+  }
+  if (config_.durable != nullptr &&
+      config_.durable->mutations_since_snapshot() > 0) {
+    // Clean-shutdown snapshot (best effort — the WAL already holds every
+    // mutation): the next startup recovers without replaying the log.
+    config_.durable->Snapshot();
   }
 }
 
@@ -283,6 +290,10 @@ Status ExplainService::IncorporateCorrection(const ExplainResult& result) {
 ServiceStats ExplainService::Stats() const {
   ServiceStats stats = SnapshotMetrics(metrics_);
   stats.resilience = explainer_->ResilienceSnapshot();
+  if (config_.durable != nullptr) {
+    stats.durability_enabled = true;
+    stats.durability = config_.durable->StatsSnapshot();
+  }
   return stats;
 }
 

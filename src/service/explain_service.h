@@ -17,6 +17,8 @@
 
 namespace htapex {
 
+class DurableKnowledgeBase;
+
 /// Configuration of the concurrent explanation service.
 struct ServiceConfig {
   /// Fixed worker pool size.
@@ -34,6 +36,13 @@ struct ServiceConfig {
   /// Embedding-keyed result cache. Disable to measure the uncached path.
   bool cache_enabled = true;
   ShardedExplainCache::Options cache;
+  /// Crash-safe KB persistence (src/durable/), already Attach()ed to the
+  /// explainer's knowledge base; must outlive the service. When set, the
+  /// durable layer logs every expert correction the service incorporates
+  /// (and auto-snapshots per its own options), Stats() carries the
+  /// durability counters, and Shutdown() installs a final snapshot so a
+  /// clean restart recovers without replaying the log. nullptr disables.
+  DurableKnowledgeBase* durable = nullptr;
 };
 
 /// Thread-safe, batched front end over HtapExplainer — the serving layer

@@ -1,7 +1,12 @@
 #include "vectordb/knowledge_base.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <set>
+#include <utility>
 
 #include "common/json.h"
 #include "common/string_util.h"
@@ -48,6 +53,11 @@ Result<int> KnowledgeBase::Insert(KbEntry entry) {
           "kb.insert fault injected (transient write contention)");
     }
   }
+  if (sink_ != nullptr) {
+    // Write-ahead: the durable log sees the mutation before it is applied,
+    // and a logging failure aborts it (nothing applied, nothing logged).
+    HTAPEX_RETURN_IF_ERROR(sink_->WillInsert(entry));
+  }
   int id;
   HTAPEX_ASSIGN_OR_RETURN(id, exact_.Add(entry.embedding));
   if (hnsw_ != nullptr) {
@@ -59,6 +69,34 @@ Result<int> KnowledgeBase::Insert(KbEntry entry) {
   expired_.push_back(0);
   hits_.emplace_back(0);
   return id;
+}
+
+Status KnowledgeBase::Restore(KbEntry entry, bool expired) {
+  if (static_cast<int>(entry.embedding.size()) != dim_) {
+    return Status::InvalidArgument("embedding dimension mismatch");
+  }
+  if (entry.id != static_cast<int>(entries_.size())) {
+    return Status::InvalidArgument(
+        "snapshot entries must restore in dense id order");
+  }
+  if (entry.sequence < 0) {
+    return Status::InvalidArgument("negative sequence in snapshot entry");
+  }
+  int id;
+  HTAPEX_ASSIGN_OR_RETURN(id, exact_.Add(entry.embedding));
+  if (hnsw_ != nullptr) {
+    HTAPEX_RETURN_IF_ERROR(hnsw_->Add(entry.embedding).status());
+  }
+  next_sequence_ = std::max(next_sequence_, entry.sequence + 1);
+  entries_.push_back(std::move(entry));
+  expired_.push_back(expired ? 1 : 0);
+  hits_.emplace_back(0);
+  if (expired) {
+    // Mirror Expire(): tombstoned entries stay out of the exact store so
+    // recovered search behaviour matches the pre-crash KB.
+    HTAPEX_RETURN_IF_ERROR(exact_.Remove(id));
+  }
+  return Status::OK();
 }
 
 std::vector<const KbEntry*> KnowledgeBase::Retrieve(
@@ -93,6 +131,9 @@ Status KnowledgeBase::CorrectExplanation(int id, std::string new_explanation) {
       expired_[static_cast<size_t>(id)]) {
     return Status::NotFound("no such knowledge-base entry");
   }
+  if (sink_ != nullptr) {
+    HTAPEX_RETURN_IF_ERROR(sink_->WillCorrect(id, new_explanation));
+  }
   entries_[static_cast<size_t>(id)].expert_explanation =
       std::move(new_explanation);
   return Status::OK();
@@ -102,6 +143,9 @@ Status KnowledgeBase::Expire(int id) {
   if (id < 0 || id >= static_cast<int>(entries_.size()) ||
       expired_[static_cast<size_t>(id)]) {
     return Status::NotFound("no such knowledge-base entry");
+  }
+  if (sink_ != nullptr) {
+    HTAPEX_RETURN_IF_ERROR(sink_->WillExpire(id));
   }
   expired_[static_cast<size_t>(id)] = 1;
   return exact_.Remove(id);
@@ -113,6 +157,16 @@ const KbEntry* KnowledgeBase::Get(int id) const {
     return nullptr;
   }
   return &entries_[static_cast<size_t>(id)];
+}
+
+const KbEntry* KnowledgeBase::RawGet(int id) const {
+  if (id < 0 || id >= static_cast<int>(entries_.size())) return nullptr;
+  return &entries_[static_cast<size_t>(id)];
+}
+
+bool KnowledgeBase::IsExpired(int id) const {
+  if (id < 0 || id >= static_cast<int>(entries_.size())) return false;
+  return expired_[static_cast<size_t>(id)] != 0;
 }
 
 int64_t KnowledgeBase::RetrievalHits(int id) const {
@@ -134,6 +188,7 @@ Status KnowledgeBase::SaveJson(const std::string& path) const {
   JsonValue items = JsonValue::MakeArray();
   for (const KbEntry* e : Entries()) {
     JsonValue item = JsonValue::MakeObject();
+    item.Set("id", JsonValue::Int(e->id));
     item.Set("sql", JsonValue::String(e->sql));
     JsonValue emb = JsonValue::MakeArray();
     for (double v : e->embedding) emb.Append(JsonValue::Double(v));
@@ -144,14 +199,28 @@ Status KnowledgeBase::SaveJson(const std::string& path) const {
     item.Set("tp_latency_ms", JsonValue::Double(e->tp_latency_ms));
     item.Set("ap_latency_ms", JsonValue::Double(e->ap_latency_ms));
     item.Set("explanation", JsonValue::String(e->expert_explanation));
+    item.Set("sequence", JsonValue::Int(e->sequence));
     items.Append(std::move(item));
   }
   root.Set("entries", std::move(items));
-  std::FILE* fp = std::fopen(path.c_str(), "w");
-  if (fp == nullptr) return Status::IoError("cannot open for write: " + path);
+  // Temp file + fsync + atomic rename: a crash at any point leaves either
+  // the previous good file or the complete new one, never a torn mix.
+  std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "w");
+  if (fp == nullptr) return Status::IoError("cannot open for write: " + tmp);
   std::string text = root.Dump(2);
-  std::fwrite(text.data(), 1, text.size(), fp);
+  size_t written = std::fwrite(text.data(), 1, text.size(), fp);
+  if (written != text.size() || std::fflush(fp) != 0 ||
+      ::fsync(::fileno(fp)) != 0) {
+    std::fclose(fp);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to " + tmp);
+  }
   std::fclose(fp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 
@@ -172,6 +241,11 @@ Status KnowledgeBase::LoadJson(const std::string& path) {
   if (items == nullptr || !items->is_array()) {
     return Status::ParseError("missing entries array");
   }
+  // Validate the whole file before ingesting anything, so a malformed
+  // export is rejected atomically instead of half-loaded.
+  std::vector<KbEntry> parsed;
+  std::set<int64_t> seen_ids;
+  parsed.reserve(items->array().size());
   for (const JsonValue& item : items->array()) {
     KbEntry e;
     e.sql = item.GetString("sql");
@@ -179,7 +253,30 @@ Status KnowledgeBase::LoadJson(const std::string& path) {
     if (emb == nullptr || !emb->is_array()) {
       return Status::ParseError("entry missing embedding");
     }
-    for (const JsonValue& v : emb->array()) e.embedding.push_back(v.double_value());
+    for (const JsonValue& v : emb->array()) {
+      e.embedding.push_back(v.double_value());
+    }
+    if (static_cast<int>(e.embedding.size()) != dim_) {
+      return Status::InvalidArgument(StrFormat(
+          "entry %zu: embedding dimension %zu != knowledge base dimension %d",
+          parsed.size(), e.embedding.size(), dim_));
+    }
+    if (const JsonValue* id = item.Find("id"); id != nullptr) {
+      if (id->int_value() < 0) {
+        return Status::InvalidArgument(
+            StrFormat("entry %zu: negative id", parsed.size()));
+      }
+      if (!seen_ids.insert(id->int_value()).second) {
+        return Status::InvalidArgument(StrFormat(
+            "entry %zu: duplicate id %lld", parsed.size(),
+            static_cast<long long>(id->int_value())));
+      }
+    }
+    e.sequence = item.GetInt("sequence", 0);
+    if (e.sequence < 0) {
+      return Status::InvalidArgument(
+          StrFormat("entry %zu: negative sequence", parsed.size()));
+    }
     e.tp_plan_json = item.GetString("tp_plan");
     e.ap_plan_json = item.GetString("ap_plan");
     e.faster =
@@ -187,7 +284,16 @@ Status KnowledgeBase::LoadJson(const std::string& path) {
     e.tp_latency_ms = item.GetDouble("tp_latency_ms");
     e.ap_latency_ms = item.GetDouble("ap_latency_ms");
     e.expert_explanation = item.GetString("explanation");
-    HTAPEX_RETURN_IF_ERROR(Insert(std::move(e)).status());
+    parsed.push_back(std::move(e));
+  }
+  for (KbEntry& e : parsed) {
+    int64_t sequence = e.sequence;
+    int id;
+    HTAPEX_ASSIGN_OR_RETURN(id, Insert(std::move(e)));
+    // Insert assigned a fresh sequence; restore the exported one and keep
+    // the counter past the maximum so future inserts never collide.
+    entries_[static_cast<size_t>(id)].sequence = sequence;
+    next_sequence_ = std::max(next_sequence_, sequence + 1);
   }
   return Status::OK();
 }
