@@ -12,7 +12,18 @@
 //   \demo            run three showcase queries
 //   \kb              list knowledge-base entries
 //   \report <sql>    full markdown report for one query
+//   \trace [sql]     span tree of the last (or a fresh) request — every
+//                    pipeline stage with its share of end_to_end_ms, plus
+//                    retry/breaker/fallback events
+//   \metrics         Prometheus-text metrics (per-span latency summaries,
+//                    resilience counters); --serve prints the full service
+//                    exposition after the batch
 //   \q               quit
+//
+// Tracing:
+//   --trace-log=MS   log the full span tree of any request slower than MS
+//                    (slow-request log; also sets the service threshold in
+//                    --serve mode)
 //
 // Fault injection (resilience demos / chaos drills):
 //   --faults="llm.transient_error:p=0.2;llm.timeout:p=0.1,lat=500"
@@ -48,18 +59,33 @@
 #include "core/report.h"
 #include "common/string_util.h"
 #include "durable/durable_kb.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "service/explain_service.h"
 
 namespace {
 
 using namespace htapex;
 
+double g_trace_log_ms = 0.0;                 // --trace-log threshold
+std::shared_ptr<const Trace> g_last_trace;   // \trace without arguments
+TraceMetrics g_trace_metrics;                // feeds \metrics
+uint64_t g_next_trace_id = 0;
+
 void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
-  auto result = explainer->Explain(sql);
+  auto trace = std::make_shared<Trace>(++g_next_trace_id, sql);
+  auto result = explainer->Explain(sql, trace.get());
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
+  g_trace_metrics.Record(*trace);
+  if (g_trace_log_ms > 0.0 && trace->total_ms() >= g_trace_log_ms) {
+    g_trace_metrics.slow_traces.Inc();
+    std::printf("slow request (>= %.0f ms):\n%s\n", g_trace_log_ms,
+                trace->ToString().c_str());
+  }
+  g_last_trace = std::move(trace);
   std::printf("TP: %-10s AP: %-10s -> %s is faster (%.1fx)\n",
               FormatMillis(result->outcome.tp_latency_ms).c_str(),
               FormatMillis(result->outcome.ap_latency_ms).c_str(),
@@ -83,6 +109,7 @@ int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
   ServiceConfig config;
   config.num_workers = workers;
   config.durable = durable;
+  config.slow_trace_ms = g_trace_log_ms;
   ExplainService service(explainer, config);
 
   std::vector<std::string> sqls;
@@ -121,7 +148,39 @@ int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
   }
   std::printf("\n=== service stats ===\n%s\n",
               service.Stats().ToString().c_str());
+  std::printf("\n=== metrics (Prometheus text) ===\n%s",
+              service.ExpositionText().c_str());
+  auto recent = service.RecentTraces();
+  if (!recent.empty()) {
+    std::printf("\n=== most recent trace ===\n%s\n",
+                recent.front()->ToString().c_str());
+  }
   return 0;
+}
+
+/// \metrics outside --serve: the interactive path has no service, so it
+/// renders the explainer-side counters and the traces ExplainOne recorded.
+std::string InteractiveMetricsText(const HtapExplainer& explainer) {
+  ExpositionBuilder b;
+  ResilienceStats r = explainer.ResilienceSnapshot();
+  b.Counter("htapex_llm_attempts_total", "Simulated-LLM call attempts",
+            r.llm_attempts);
+  b.Counter("htapex_llm_retries_total", "Attempts beyond the first",
+            r.llm_retries);
+  b.Counter("htapex_breaker_short_circuits_total",
+            "Calls rejected while a breaker was open",
+            r.breaker_short_circuits);
+  TraceMetrics::Stats t = g_trace_metrics.Snap();
+  b.Counter("htapex_traces_recorded_total", "Completed request traces",
+            t.traces);
+  b.Counter("htapex_slow_traces_total",
+            "Traces above the --trace-log threshold", t.slow_traces);
+  const char* kSpanHelp = "Per-span latency summaries from request traces";
+  for (const TraceMetrics::SpanStat& span : t.spans) {
+    b.Summary("htapex_span_latency_ms", kSpanHelp, span.hist,
+              {{"span", span.name}});
+  }
+  return b.Text();
 }
 
 }  // namespace
@@ -163,6 +222,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
       config.fault_seed =
           static_cast<uint64_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--trace-log=", 12) == 0) {
+      g_trace_log_ms = std::strtod(argv[i] + 12, nullptr);
+      if (g_trace_log_ms <= 0.0) {
+        std::fprintf(stderr, "--trace-log needs a positive ms threshold\n");
+        return 2;
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -296,6 +361,15 @@ int main(int argc, char** argv) {
                       durable->StatsSnapshot().ToString().c_str());
         }
       }
+    } else if (sql == "\\trace" || sql.rfind("\\trace ", 0) == 0) {
+      if (sql.size() > 7) ExplainOne(&explainer, sql.substr(7));
+      if (g_last_trace == nullptr) {
+        std::printf("no trace yet — run a query first (or \\trace <sql>)\n");
+      } else {
+        std::printf("%s\n", g_last_trace->ToString().c_str());
+      }
+    } else if (sql == "\\metrics") {
+      std::printf("%s", InteractiveMetricsText(explainer).c_str());
     } else if (sql.rfind("\\report ", 0) == 0) {
       auto result = explainer.Explain(sql.substr(8));
       if (!result.ok()) {

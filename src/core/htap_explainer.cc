@@ -191,28 +191,43 @@ Status HtapExplainer::BuildDefaultKnowledgeBase() {
   return AddToKnowledgeBase(sqls);
 }
 
-Result<PreparedQuery> HtapExplainer::Prepare(const std::string& sql) const {
+Result<PreparedQuery> HtapExplainer::Prepare(const std::string& sql,
+                                             Trace* trace) const {
   PreparedQuery prepared;
-  HTAPEX_ASSIGN_OR_RETURN(prepared.query, system_->Bind(sql));
+  HTAPEX_ASSIGN_OR_RETURN(prepared.query, system_->Bind(sql, trace));
   prepared.outcome.sql = sql;
   HTAPEX_ASSIGN_OR_RETURN(prepared.outcome.plans,
-                          system_->PlanBoth(prepared.query));
-  prepared.outcome.tp_latency_ms = system_->LatencyMs(prepared.outcome.plans.tp);
-  prepared.outcome.ap_latency_ms = system_->LatencyMs(prepared.outcome.plans.ap);
-  prepared.outcome.faster =
-      prepared.outcome.tp_latency_ms <= prepared.outcome.ap_latency_ms
-          ? EngineKind::kTp
-          : EngineKind::kAp;
+                          system_->PlanBoth(prepared.query, trace));
+  {
+    ScopedWallSpan span(trace, spanname::kRoute);
+    prepared.outcome.tp_latency_ms =
+        system_->LatencyMs(prepared.outcome.plans.tp);
+    prepared.outcome.ap_latency_ms =
+        system_->LatencyMs(prepared.outcome.plans.ap);
+    prepared.outcome.faster =
+        prepared.outcome.tp_latency_ms <= prepared.outcome.ap_latency_ms
+            ? EngineKind::kTp
+            : EngineKind::kAp;
+  }
   WallTimer encode_timer;
   prepared.embedding = router_.Embed(prepared.outcome.plans);
   prepared.encode_ms = encode_timer.ElapsedMillis();
+  // Recorded rather than scoped: the span must carry the same measured
+  // value end_to_end_ms() charges as router_encode_ms.
+  if (trace != nullptr) {
+    trace->AddSpan(spanname::kEmbed, prepared.encode_ms, /*simulated=*/false);
+  }
   return prepared;
 }
 
 Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
-                                                     double budget_ms) {
+                                                     double budget_ms,
+                                                     Trace* trace) {
   ExplainResult result;
-  result.truth = expert_.Analyze(prepared.outcome, prepared.query);
+  {
+    ScopedWallSpan span(trace, spanname::kAnalyze);
+    result.truth = expert_.Analyze(prepared.outcome, prepared.query);
+  }
   result.outcome = std::move(prepared.outcome);
   result.embedding = std::move(prepared.embedding);
   result.router_encode_ms = prepared.encode_ms;
@@ -220,18 +235,32 @@ Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
   if (config_.use_rag) {
     result.retrieval = retriever_.Retrieve(result.embedding, config_.retrieval_k);
   }
+  // Recorded with the retriever's own measured search time — the same
+  // value end_to_end_ms() charges (zero when RAG is off).
+  if (trace != nullptr) {
+    trace->AddSpan(spanname::kRetrieve, result.retrieval.search_ms,
+                   /*simulated=*/false);
+  }
 
-  result.prompt = prompt_builder_.Build(
-      result.retrieval.items, result.outcome.sql,
-      result.outcome.plans.tp.Explain(), result.outcome.plans.ap.Explain(),
-      result.outcome.faster);
+  {
+    ScopedWallSpan span(trace, spanname::kPrompt);
+    result.prompt = prompt_builder_.Build(
+        result.retrieval.items, result.outcome.sql,
+        result.outcome.plans.tp.Explain(), result.outcome.plans.ap.Explain(),
+        result.outcome.faster);
+  }
 
   // The degradation ladder: primary model -> DBG-PT baseline -> local
   // plan-diff report. Each rung runs behind its own deadline/retry/breaker
   // stack; whatever time a failed rung burned is charged to the request and
-  // subtracted from the remaining budget.
+  // subtracted from the remaining budget. One "generate" span covers the
+  // whole ladder: ResilientLlm advances the trace timeline for every
+  // simulated ms it charges, so the span's duration comes out equal to
+  // generation time + resilience overhead; attempt/backoff/fallback detail
+  // lands on it as events.
+  int gen_span = trace != nullptr ? trace->Begin(spanname::kGenerate) : -1;
   double spent = 0.0;
-  auto call = primary_->Explain(result.prompt, budget_ms, &spent);
+  auto call = primary_->Explain(result.prompt, budget_ms, &spent, trace);
   double total_spent = spent;
   if (call.ok()) {
     result.generation = std::move(call->explanation);
@@ -248,8 +277,11 @@ Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
           budget_ms > 0.0 ? std::max(0.0, budget_ms - total_spent) : 0.0;
       // A zero remaining budget must not mean "unlimited" for the fallback.
       if (budget_ms <= 0.0 || remaining > 0.0) {
+        if (trace != nullptr) {
+          trace->Event("fallback_baseline", call.status().ToString());
+        }
         spent = 0.0;
-        auto fb = fallback_->Explain(result.prompt, remaining, &spent);
+        auto fb = fallback_->Explain(result.prompt, remaining, &spent, trace);
         total_spent += spent;
         if (fb.ok()) {
           result.generation = std::move(fb->explanation);
@@ -269,6 +301,7 @@ Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
       // Local, LLM-free, always succeeds, costs nothing beyond what the
       // failed rungs already burned.
       resilience_metrics_.fallbacks_plan_diff.Inc();
+      if (trace != nullptr) trace->Event("fallback_plan_diff", reason);
       result.generation = MakePlanDiffExplanation(result.prompt);
       result.llm_attempts = attempts;
       result.resilience_ms = total_spent;
@@ -276,14 +309,19 @@ Result<ExplainResult> HtapExplainer::ExplainPrepared(PreparedQuery prepared,
       result.degradation_reason = std::move(reason);
     }
   }
-  result.grade = grader_.Grade(result.truth, result.generation.claims);
+  if (trace != nullptr) trace->End(gen_span, /*simulated=*/true);
+  {
+    ScopedWallSpan span(trace, spanname::kGrade);
+    result.grade = grader_.Grade(result.truth, result.generation.claims);
+  }
   return result;
 }
 
-Result<ExplainResult> HtapExplainer::Explain(const std::string& sql) {
+Result<ExplainResult> HtapExplainer::Explain(const std::string& sql,
+                                             Trace* trace) {
   PreparedQuery prepared;
-  HTAPEX_ASSIGN_OR_RETURN(prepared, Prepare(sql));
-  return ExplainPrepared(std::move(prepared));
+  HTAPEX_ASSIGN_OR_RETURN(prepared, Prepare(sql, trace));
+  return ExplainPrepared(std::move(prepared), /*budget_ms=*/0.0, trace);
 }
 
 Status HtapExplainer::IncorporateCorrection(const ExplainResult& result) {

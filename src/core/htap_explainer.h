@@ -12,6 +12,7 @@
 #include "llm/llm.h"
 #include "llm/resilient_llm.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rag/retriever.h"
 #include "router/smart_router.h"
 #include "sql/binder.h"
@@ -93,6 +94,10 @@ struct ExplainResult {
   int llm_attempts = 1;
   double resilience_ms = 0.0;
   std::string degradation_reason;
+  /// Per-request span tree (see obs/trace.h) when the producing pipeline
+  /// ran with tracing on; null otherwise. ExplainService attaches one to
+  /// every result it serves, cache hits included.
+  std::shared_ptr<const Trace> trace;
   /// End-to-end (paper Section VI-B): encode + cache probe + search +
   /// thinking + generation, plus any resilience overhead (failed attempts,
   /// backoff, fallback chains). Cache hits zero out the search/generation
@@ -141,13 +146,18 @@ class HtapExplainer {
 
   /// Full pipeline for one query: plan both engines, embed the pair,
   /// retrieve top-K knowledge, prompt the model, grade the output.
-  /// Equivalent to Prepare() followed by ExplainPrepared().
-  Result<ExplainResult> Explain(const std::string& sql);
+  /// Equivalent to Prepare() followed by ExplainPrepared(). A non-null
+  /// `trace` receives one span per pipeline stage (taxonomy in
+  /// obs/trace.h); the caller owns the trace's lifetime.
+  Result<ExplainResult> Explain(const std::string& sql,
+                                Trace* trace = nullptr);
 
   /// Stage one: bind, plan both engines, model latencies, embed the pair.
   /// Read-only on the explainer (safe to run concurrently with other
-  /// Prepare/ExplainPrepared calls).
-  Result<PreparedQuery> Prepare(const std::string& sql) const;
+  /// Prepare/ExplainPrepared calls). Spans: parse, bind, tp_optimize,
+  /// ap_optimize, route, embed.
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                Trace* trace = nullptr) const;
 
   /// Stage two: expert analysis, knowledge retrieval, prompting,
   /// generation, grading. Reads the knowledge base — callers running this
@@ -160,9 +170,12 @@ class HtapExplainer {
   /// local plan-diff report — the result's `degradation` tag records which
   /// rung answered. `budget_ms` > 0 caps the simulated time the LLM chain
   /// may burn (DeadlineExceeded once no rung could run within it; the
-  /// plan-diff rung is free and always fits).
+  /// plan-diff rung is free and always fits). Spans on a non-null `trace`:
+  /// analyze, retrieve, prompt, generate (with per-attempt / fallback
+  /// events), grade.
   Result<ExplainResult> ExplainPrepared(PreparedQuery prepared,
-                                        double budget_ms = 0.0);
+                                        double budget_ms = 0.0,
+                                        Trace* trace = nullptr);
 
   /// The expert feedback loop: after a non-accurate explanation, the expert
   /// corrects it and the corrected entry joins the knowledge base for

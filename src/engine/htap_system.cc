@@ -4,6 +4,7 @@
 
 #include "catalog/tpch.h"
 #include "plan/planner_util.h"
+#include "sql/parser.h"
 #include "storage/datagen.h"
 
 namespace htapex {
@@ -44,13 +45,25 @@ Status HtapSystem::DropIndex(const std::string& name) {
   return catalog_.DropIndex(name);
 }
 
-Result<BoundQuery> HtapSystem::Bind(std::string_view sql) const {
-  return ParseAndBind(catalog_, sql);
+Result<BoundQuery> HtapSystem::Bind(std::string_view sql,
+                                    Trace* trace) const {
+  SelectStatement stmt;
+  {
+    ScopedWallSpan span(trace, spanname::kParse);
+    HTAPEX_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
+  }
+  ScopedWallSpan span(trace, spanname::kBind);
+  return htapex::Bind(catalog_, std::move(stmt), std::string(sql));
 }
 
-Result<PlanPair> HtapSystem::PlanBoth(const BoundQuery& query) const {
+Result<PlanPair> HtapSystem::PlanBoth(const BoundQuery& query,
+                                      Trace* trace) const {
   PlanPair pair;
-  HTAPEX_ASSIGN_OR_RETURN(pair.tp, tp_optimizer_->Plan(query));
+  {
+    ScopedWallSpan span(trace, spanname::kTpOptimize);
+    HTAPEX_ASSIGN_OR_RETURN(pair.tp, tp_optimizer_->Plan(query));
+  }
+  ScopedWallSpan span(trace, spanname::kApOptimize);
   HTAPEX_ASSIGN_OR_RETURN(pair.ap, ap_optimizer_->Plan(query));
   return pair;
 }

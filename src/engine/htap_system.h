@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "engine/executor.h"
 #include "engine/latency_model.h"
+#include "obs/trace.h"
 #include "storage/column_store.h"
 #include "storage/row_store.h"
 #include "tp/tp_optimizer.h"
@@ -77,10 +78,14 @@ class HtapSystem {
   Status CreateIndex(const IndexDef& def);
   Status DropIndex(const std::string& name);
 
-  Result<BoundQuery> Bind(std::string_view sql) const;
+  /// Parses and binds. When `trace` is non-null the parse and bind stages
+  /// each report a wall-timed span on it.
+  Result<BoundQuery> Bind(std::string_view sql, Trace* trace = nullptr) const;
 
-  /// Plans the query on both engines.
-  Result<PlanPair> PlanBoth(const BoundQuery& query) const;
+  /// Plans the query on both engines (per-engine optimizer spans on
+  /// `trace` when non-null).
+  Result<PlanPair> PlanBoth(const BoundQuery& query,
+                            Trace* trace = nullptr) const;
 
   /// Modelled latency of a plan at the statistics scale factor.
   double LatencyMs(const PhysicalPlan& plan,

@@ -126,7 +126,7 @@ BreakerState ResilientLlm::breaker_state() const {
 
 Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
                                              double budget_ms,
-                                             double* spent_ms) {
+                                             double* spent_ms, Trace* trace) {
   // Every random decision below is keyed by (seed, purpose, key, attempt):
   // a request's fault/backoff transcript is a pure function of its SQL and
   // this dependency, independent of thread interleaving.
@@ -140,17 +140,25 @@ Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
     AdvanceClock(ms);
     spent += ms;
     if (spent_ms != nullptr) *spent_ms = spent;
+    if (trace != nullptr) trace->Advance(ms);
+  };
+  auto note = [&](const char* name, std::string detail) {
+    if (trace != nullptr) trace->Event(name, std::move(detail));
   };
 
   for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (budget_ms > 0.0 && spent >= budget_ms) {
       metrics_->budget_exhausted.Inc();
+      note("budget_exhausted",
+           StrFormat("%s: %.0f ms budget after %d attempts",
+                     dependency_.c_str(), budget_ms, attempt));
       return Status::DeadlineExceeded(
           StrFormat("%s: request budget (%.0f ms) exhausted after %d attempts",
                     dependency_.c_str(), budget_ms, attempt));
     }
     if (!breaker_.AllowRequest(sim_now_ms())) {
       metrics_->breaker_short_circuits.Inc();
+      note("breaker_short_circuit", dependency_);
       return Status::Unavailable(dependency_ + ": circuit breaker open");
     }
     metrics_->llm_attempts.Inc();
@@ -165,17 +173,23 @@ Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
                            : FaultDraw{};
 
     double attempt_ms = 0.0;
+    auto note_attempt = [&](const char* outcome, double ms) {
+      note("attempt", StrFormat("%s #%d: %s (%.1f ms)", dependency_.c_str(),
+                                attempt + 1, outcome, ms));
+    };
     if (timeout.fired) {
       // The caller hangs on the dependency until the deadline, then gives
       // up: a timeout costs exactly the per-attempt deadline.
       attempt_ms = policy_.attempt_deadline_ms;
       metrics_->llm_timeouts.Inc();
       last_failure = "timeout";
+      note_attempt("timeout", attempt_ms);
     } else if (transient.fired) {
       attempt_ms = transient.latency_ms > 0.0 ? transient.latency_ms
                                               : kDefaultTransientMs;
       metrics_->llm_transient_errors.Inc();
       last_failure = "transient error";
+      note_attempt("transient error", attempt_ms);
     } else {
       GeneratedExplanation gen = inner_->Explain(prompt);
       FaultDraw slow = faults_ != nullptr
@@ -200,10 +214,13 @@ Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
         attempt_ms = policy_.attempt_deadline_ms;
         metrics_->llm_timeouts.Inc();
         last_failure = "deadline exceeded";
+        note_attempt("deadline exceeded", attempt_ms);
       } else if (LooksGarbled(gen.text)) {
         metrics_->llm_garbled.Inc();
         last_failure = "garbled output";
+        note_attempt("garbled output", attempt_ms);
       } else {
+        note_attempt("ok", attempt_ms);
         charge(attempt_ms);
         breaker_.RecordSuccess(sim_now_ms());
         LlmCallOutcome out;
@@ -221,9 +238,14 @@ Result<LlmCallOutcome> ResilientLlm::Explain(const Prompt& prompt,
       double cap = std::min(policy_.backoff_cap_ms,
                             policy_.backoff_base_ms * std::exp2(attempt));
       Rng rng(MixFaultSeed(policy_.seed, kBackoffPurpose, key, a));
-      charge(rng.UniformReal(0.0, cap));
+      double backoff_ms = rng.UniformReal(0.0, cap);
+      note("backoff", StrFormat("%.1f ms", backoff_ms));
+      charge(backoff_ms);
     }
   }
+  note("attempts_exhausted",
+       StrFormat("%s after %d attempts (last: %s)", dependency_.c_str(),
+                 policy_.max_attempts, last_failure));
   return Status::Unavailable(StrFormat("%s: %d attempts exhausted (last: %s)",
                                        dependency_.c_str(),
                                        policy_.max_attempts, last_failure));

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "llm/llm.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace htapex {
 
@@ -109,8 +110,15 @@ class ResilientLlm {
   /// DeadlineExceeded. Returns Unavailable when the breaker is open or
   /// retries are exhausted. When `spent_ms` is non-null it receives the
   /// simulated time burned, on success and failure alike.
+  ///
+  /// When `trace` is non-null, every attempt outcome, backoff sleep,
+  /// breaker short-circuit, and budget exhaustion becomes a span event on
+  /// the trace's open span, and all simulated time charged to the call is
+  /// advanced on the trace timeline — so the enclosing "generate" span's
+  /// duration equals the call's total simulated cost.
   Result<LlmCallOutcome> Explain(const Prompt& prompt, double budget_ms = 0.0,
-                                 double* spent_ms = nullptr);
+                                 double* spent_ms = nullptr,
+                                 Trace* trace = nullptr);
 
   BreakerState breaker_state() const;
   const SimulatedLlm& inner() const { return *inner_; }

@@ -22,7 +22,12 @@ size_t ShardedExplainCache::KeyHash::operator()(const QuantKey& key) const {
 
 ShardedExplainCache::ShardedExplainCache(Options options)
     : options_(options) {
-  if (options_.shards == 0) options_.shards = 1;
+  // A zero is a misconfiguration, not a request for a degenerate cache:
+  // fall back to the documented defaults (a caller who wants "no cache"
+  // disables it at the service level), then keep the shard/capacity
+  // relation consistent.
+  if (options_.shards == 0) options_.shards = Options().shards;
+  if (options_.capacity == 0) options_.capacity = Options().capacity;
   if (options_.capacity < options_.shards) options_.capacity = options_.shards;
   if (options_.quant_step <= 0.0) options_.quant_step = 0.05;
   per_shard_capacity_ = options_.capacity / options_.shards;

@@ -75,6 +75,10 @@ class ShardedExplainCache {
 
   size_t size() const;
 
+  /// Effective options after construction-time clamping (zero shards or
+  /// capacity fall back to the defaults above).
+  const Options& options() const { return options_; }
+
  private:
   using QuantKey = std::vector<int64_t>;
 

@@ -5,8 +5,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/sim_clock.h"
 #include "durable/durable_kb.h"
+#include "obs/exposition.h"
 
 namespace htapex {
 
@@ -22,6 +24,9 @@ ExplainService::ExplainService(HtapExplainer* explainer, ServiceConfig config)
         return config;
       }()),
       cache_(config_.cache) {
+  if (config_.tracing && config_.trace_ring > 0) {
+    trace_ring_ = std::make_unique<TraceRing>(config_.trace_ring);
+  }
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -151,12 +156,11 @@ void ExplainService::WorkerLoop() {
     space_cv_.notify_all();
     for (Request& req : batch) {
       Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
+        double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - req.enqueued)
+                               .count();
         double remaining = 0.0;
         if (req.budget_ms > 0.0) {
-          double waited_ms =
-              std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - req.enqueued)
-                  .count();
           remaining = req.budget_ms - waited_ms;
           if (remaining <= 0.0) {
             // The budget died in the queue: shed the request before any
@@ -166,7 +170,7 @@ void ExplainService::WorkerLoop() {
                 "request budget exhausted while queued");
           }
         }
-        return Process(req.sql, remaining);
+        return Process(req.sql, remaining, waited_ms);
       }();
       RecordDegradation(result);
       // Count before fulfilling the promise so a caller who wakes from the
@@ -199,10 +203,19 @@ void ExplainService::RecordDegradation(const Result<ExplainResult>& result) {
 }
 
 Result<ExplainResult> ExplainService::Process(const std::string& sql,
-                                              double budget_ms) {
+                                              double budget_ms,
+                                              double waited_ms) {
+  std::shared_ptr<Trace> trace;
+  if (config_.tracing) {
+    trace = std::make_shared<Trace>(
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1, sql);
+    // Always present (even ~0 ms) so every trace has the same span set for
+    // a given pipeline path — the determinism tests rely on that.
+    trace->AddSpan(spanname::kQueueWait, waited_ms, /*simulated=*/false);
+  }
   PreparedQuery prepared;
   {
-    auto r = explainer_->Prepare(sql);
+    auto r = explainer_->Prepare(sql, trace.get());
     if (!r.ok()) {
       metrics_.errors.Inc();
       return r.status();
@@ -218,6 +231,10 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql,
         cache_.Lookup(prepared.embedding);
     lookup_ms = probe.ElapsedMillis();
     metrics_.cache_lookup.Record(lookup_ms);
+    if (trace != nullptr) {
+      trace->AddSpan(spanname::kCacheLookup, lookup_ms, /*simulated=*/false);
+      if (hit != nullptr) trace->Event("cache_hit");
+    }
     if (hit != nullptr) {
       metrics_.cache_hits.Inc();
       // Fresh plans + cached explanation. Search/generation timings are
@@ -237,6 +254,7 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql,
       result.from_cache = true;
       result.cache_lookup_ms = lookup_ms;
       metrics_.end_to_end.Record(result.end_to_end_ms());
+      FinalizeTrace(std::move(trace), &result);
       return result;
     }
     metrics_.cache_misses.Inc();
@@ -244,7 +262,8 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql,
 
   Result<ExplainResult> result = [&] {
     std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
-    return explainer_->ExplainPrepared(std::move(prepared), budget_ms);
+    return explainer_->ExplainPrepared(std::move(prepared), budget_ms,
+                                       trace.get());
   }();
   if (!result.ok()) {
     metrics_.errors.Inc();
@@ -274,16 +293,48 @@ Result<ExplainResult> ExplainService::Process(const std::string& sql,
     cached->grade = result->grade;
     cache_.Insert(std::move(cached));
   }
+  FinalizeTrace(std::move(trace), &*result);
   return result;
 }
 
+void ExplainService::FinalizeTrace(std::shared_ptr<Trace> trace,
+                                   ExplainResult* result) {
+  if (trace == nullptr) return;
+  trace_metrics_.Record(*trace);
+  if (config_.slow_trace_ms > 0.0 &&
+      trace->total_ms() >= config_.slow_trace_ms) {
+    trace_metrics_.slow_traces.Inc();
+    HTAPEX_LOG(Warning) << "slow request (" << trace->total_ms()
+                        << " ms >= " << config_.slow_trace_ms
+                        << " ms threshold):\n"
+                        << trace->ToString();
+  }
+  std::shared_ptr<const Trace> published = std::move(trace);
+  if (trace_ring_ != nullptr) trace_ring_->Push(published);
+  result->trace = std::move(published);
+}
+
+std::vector<std::shared_ptr<const Trace>> ExplainService::RecentTraces()
+    const {
+  if (trace_ring_ == nullptr) return {};
+  return trace_ring_->Recent();
+}
+
 Status ExplainService::IncorporateCorrection(const ExplainResult& result) {
+  WallTimer timer;
   Status status;
   {
     std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
     status = explainer_->IncorporateCorrection(result);
   }
-  if (status.ok()) metrics_.kb_inserts.Inc();
+  if (status.ok()) {
+    metrics_.kb_inserts.Inc();
+    // Runs outside any request trace (the feedback loop is its own
+    // operation), so it reports straight into the span histograms.
+    if (config_.tracing) {
+      trace_metrics_.RecordSpan(spanname::kKbInsert, timer.ElapsedMillis());
+    }
+  }
   return status;
 }
 
@@ -295,6 +346,122 @@ ServiceStats ExplainService::Stats() const {
     stats.durability = config_.durable->StatsSnapshot();
   }
   return stats;
+}
+
+std::string ExplainService::ExpositionText() const {
+  ServiceStats s = Stats();
+  ShardedExplainCache::Stats c = CacheStats();
+  TraceMetrics::Stats t = TraceSnapshot();
+  ExpositionBuilder b;
+
+  b.Counter("htapex_requests_total", "Requests submitted to the service",
+            s.requests);
+  b.Counter("htapex_completed_total", "Requests finished (ok or error)",
+            s.completed);
+  b.Counter("htapex_errors_total", "Requests failed in bind/plan/explain",
+            s.errors);
+  b.Counter("htapex_early_rejections_total",
+            "Over-budget requests shed at dequeue", s.early_rejections);
+  b.Counter("htapex_kb_inserts_total",
+            "Expert corrections incorporated into the knowledge base",
+            s.kb_inserts);
+  const char* kDegradedHelp =
+      "Completed requests by degradation-ladder rung";
+  b.Counter("htapex_degraded_total", kDegradedHelp, s.degraded_full,
+            {{"level", "full"}});
+  b.Counter("htapex_degraded_total", kDegradedHelp, s.degraded_baseline,
+            {{"level", "baseline"}});
+  b.Counter("htapex_degraded_total", kDegradedHelp, s.degraded_plan_diff,
+            {{"level", "plan_diff"}});
+  b.Counter("htapex_degraded_total", kDegradedHelp, s.degraded_failed,
+            {{"level", "failed"}});
+
+  const char* kCacheHelp = "Result-cache events";
+  b.Counter("htapex_cache_events_total", kCacheHelp, c.hits,
+            {{"event", "hit"}});
+  b.Counter("htapex_cache_events_total", kCacheHelp, c.misses,
+            {{"event", "miss"}});
+  b.Counter("htapex_cache_events_total", kCacheHelp, c.insertions,
+            {{"event", "insertion"}});
+  b.Counter("htapex_cache_events_total", kCacheHelp, c.evictions,
+            {{"event", "eviction"}});
+  b.Gauge("htapex_cache_entries", "Result-cache resident entries",
+          static_cast<double>(c.size));
+
+  const ResilienceStats& r = s.resilience;
+  b.Counter("htapex_llm_attempts_total", "Simulated-LLM call attempts",
+            r.llm_attempts);
+  b.Counter("htapex_llm_retries_total", "Attempts beyond the first",
+            r.llm_retries);
+  const char* kLlmFaultHelp = "LLM attempt failures by kind";
+  b.Counter("htapex_llm_failures_total", kLlmFaultHelp, r.llm_timeouts,
+            {{"kind", "timeout"}});
+  b.Counter("htapex_llm_failures_total", kLlmFaultHelp, r.llm_transient_errors,
+            {{"kind", "transient"}});
+  b.Counter("htapex_llm_failures_total", kLlmFaultHelp, r.llm_garbled,
+            {{"kind", "garbled"}});
+  b.Counter("htapex_llm_slow_total", "Slow-generation faults absorbed",
+            r.llm_slow);
+  b.Counter("htapex_budget_exhausted_total",
+            "Calls stopped by the request budget", r.budget_exhausted);
+  const char* kBreakerHelp = "Circuit-breaker state transitions";
+  b.Counter("htapex_breaker_transitions_total", kBreakerHelp, r.breaker_opens,
+            {{"transition", "open"}});
+  b.Counter("htapex_breaker_transitions_total", kBreakerHelp,
+            r.breaker_half_opens, {{"transition", "half_open"}});
+  b.Counter("htapex_breaker_transitions_total", kBreakerHelp,
+            r.breaker_closes, {{"transition", "close"}});
+  b.Counter("htapex_breaker_short_circuits_total",
+            "Calls rejected while a breaker was open",
+            r.breaker_short_circuits);
+  const char* kFallbackHelp = "Degradation-ladder fallbacks taken";
+  b.Counter("htapex_fallbacks_total", kFallbackHelp, r.fallbacks_baseline,
+            {{"rung", "baseline"}});
+  b.Counter("htapex_fallbacks_total", kFallbackHelp, r.fallbacks_plan_diff,
+            {{"rung", "plan_diff"}});
+  b.Counter("htapex_kb_insert_retries_total",
+            "Transient KB-write faults retried", r.kb_insert_retries);
+
+  if (s.durability_enabled) {
+    const DurabilityStats& d = s.durability;
+    b.Counter("htapex_wal_appends_total", "WAL records appended",
+              d.wal_appends);
+    b.Counter("htapex_wal_bytes_total", "WAL bytes appended", d.wal_bytes);
+    b.Counter("htapex_wal_fsyncs_total", "WAL fsyncs issued", d.wal_fsyncs);
+    b.Counter("htapex_snapshots_total", "Snapshots durably installed",
+              d.snapshots);
+    b.Counter("htapex_snapshot_failures_total", "Snapshot attempts aborted",
+              d.snapshot_failures);
+    b.Counter("htapex_recoveries_total", "Successful startup recoveries",
+              d.recoveries);
+    b.Counter("htapex_replayed_records_total",
+              "WAL records applied during recovery", d.replayed_records);
+  }
+
+  const char* kStageHelp = "Service stage latency summaries";
+  b.Summary("htapex_stage_latency_ms", kStageHelp, s.encode,
+            {{"stage", "encode"}});
+  b.Summary("htapex_stage_latency_ms", kStageHelp, s.cache_lookup,
+            {{"stage", "cache_lookup"}});
+  b.Summary("htapex_stage_latency_ms", kStageHelp, s.kb_search,
+            {{"stage", "kb_search"}});
+  b.Summary("htapex_stage_latency_ms", kStageHelp, s.generate,
+            {{"stage", "generate"}});
+  b.Summary("htapex_stage_latency_ms", kStageHelp, s.end_to_end,
+            {{"stage", "end_to_end"}});
+
+  b.Counter("htapex_traces_recorded_total", "Completed request traces",
+            t.traces);
+  b.Counter("htapex_slow_traces_total",
+            "Traces above the slow-request threshold", t.slow_traces);
+  b.Counter("htapex_unknown_spans_total",
+            "Spans recorded outside the canonical taxonomy", t.unknown_spans);
+  const char* kSpanHelp = "Per-span latency summaries from request traces";
+  for (const TraceMetrics::SpanStat& span : t.spans) {
+    b.Summary("htapex_span_latency_ms", kSpanHelp, span.hist,
+              {{"span", span.name}});
+  }
+  return b.Text();
 }
 
 }  // namespace htapex

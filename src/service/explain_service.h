@@ -1,10 +1,12 @@
 #ifndef HTAPEX_SERVICE_EXPLAIN_SERVICE_H_
 #define HTAPEX_SERVICE_EXPLAIN_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -13,6 +15,7 @@
 
 #include "core/htap_explainer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/explain_cache.h"
 
 namespace htapex {
@@ -36,6 +39,20 @@ struct ServiceConfig {
   /// Embedding-keyed result cache. Disable to measure the uncached path.
   bool cache_enabled = true;
   ShardedExplainCache::Options cache;
+  /// Per-request tracing: every result carries a span tree decomposing its
+  /// end_to_end_ms (see obs/trace.h), completed traces feed the per-span
+  /// latency histograms and the flight-recorder ring. Cheap enough to keep
+  /// on (bench_trace holds the overhead under 5%); disable only to measure
+  /// the untraced path.
+  bool tracing = true;
+  /// Flight recorder: how many of the most recent completed traces
+  /// RecentTraces() can return. 0 disables the ring (tracing itself stays
+  /// per the flag above).
+  size_t trace_ring = 64;
+  /// Slow-request log: a completed trace whose total timeline exceeds this
+  /// is logged in full (span tree + events) at Warning and counted in
+  /// TraceSnapshot().slow_traces. <= 0 disables.
+  double slow_trace_ms = 0.0;
   /// Crash-safe KB persistence (src/durable/), already Attach()ed to the
   /// explainer's knowledge base; must outlive the service. When set, the
   /// durable layer logs every expert correction the service incorporates
@@ -108,6 +125,16 @@ class ExplainService {
   /// Point-in-time metrics snapshot.
   ServiceStats Stats() const;
   ShardedExplainCache::Stats CacheStats() const { return cache_.GetStats(); }
+  /// Per-span latency histograms + trace counters.
+  TraceMetrics::Stats TraceSnapshot() const { return trace_metrics_.Snap(); }
+  /// Newest-first snapshot of the flight-recorder ring (empty when tracing
+  /// or the ring is disabled).
+  std::vector<std::shared_ptr<const Trace>> RecentTraces() const;
+  /// Everything the service measures — ServiceStats, cache, resilience,
+  /// durability, and the per-span histograms — rendered in the Prometheus
+  /// text exposition format (obs/exposition.h). The output is guaranteed to
+  /// round-trip through ParseExposition; CI holds that invariant.
+  std::string ExpositionText() const;
 
   /// Stops accepting work, lets workers drain the queue, joins them, then
   /// deterministically fails any request that somehow remains queued (typed
@@ -126,14 +153,21 @@ class ExplainService {
   };
 
   void WorkerLoop();
-  Result<ExplainResult> Process(const std::string& sql, double budget_ms);
+  Result<ExplainResult> Process(const std::string& sql, double budget_ms,
+                                double waited_ms);
   /// Counts the result against the degradation-mix counters.
   void RecordDegradation(const Result<ExplainResult>& result);
+  /// Feeds the completed trace to the per-span histograms, the slow-request
+  /// log and the ring, then attaches it (const) to the result.
+  void FinalizeTrace(std::shared_ptr<Trace> trace, ExplainResult* result);
 
   HtapExplainer* explainer_;
   ServiceConfig config_;
   ShardedExplainCache cache_;
   ServiceMetrics metrics_;
+  TraceMetrics trace_metrics_;
+  std::unique_ptr<TraceRing> trace_ring_;  // null when disabled
+  std::atomic<uint64_t> next_trace_id_{0};
 
   /// Readers: ExplainPrepared. Writer: IncorporateCorrection.
   mutable std::shared_mutex kb_mutex_;

@@ -8,10 +8,25 @@
 namespace htapex {
 
 HnswIndex::HnswIndex(int dim, Options options)
-    : dim_(dim), options_(options), rng_(options.seed) {}
+    : dim_(dim), options_(options), rng_(options.seed) {
+  // M <= 1 makes RandomLevel's 1/ln(M) divide by zero (M == 1) or go
+  // negative (M == 0 would also build a disconnected graph); M == 2 is the
+  // smallest value with a meaningful geometric level distribution.
+  // ef_construction < 1 would select zero link candidates per insert
+  // (every node an orphan), so nonsense values fall back to the default;
+  // values below M are raised to M so each insert sees at least as many
+  // candidates as its degree bound.
+  options_.max_neighbors = std::max(2, options_.max_neighbors);
+  if (options_.ef_construction < 1) {
+    options_.ef_construction = Options().ef_construction;
+  }
+  options_.ef_construction =
+      std::max(options_.ef_construction, options_.max_neighbors);
+}
 
 int HnswIndex::RandomLevel() {
-  // Geometric level distribution with mult = 1/ln(M).
+  // Geometric level distribution with mult = 1/ln(M); M is clamped >= 2 at
+  // construction so the log is strictly positive.
   double mult = 1.0 / std::log(static_cast<double>(options_.max_neighbors));
   double r = rng_.NextDouble();
   if (r < 1e-12) r = 1e-12;
@@ -71,6 +86,40 @@ std::vector<SearchHit> HnswIndex::SearchLayer(const std::vector<double>& query,
   return out;
 }
 
+std::vector<SearchHit> HnswIndex::SelectNeighbors(
+    const std::vector<double>& base, const std::vector<SearchHit>& candidates,
+    int m) const {
+  // A candidate is kept when it is closer to `base` than to every neighbour
+  // already kept: edges then spread across directions instead of collapsing
+  // into one mutual-nearest cluster. Skipped candidates back-fill remaining
+  // slots (keepPrunedConnections) so low-degree graphs stay connected —
+  // plain keep-the-m-closest pruning strands whole regions of the base
+  // layer at small M (see AdversarialOptionsStillSearchCorrectly).
+  std::vector<SearchHit> selected;
+  std::vector<SearchHit> skipped;
+  for (const SearchHit& c : candidates) {
+    if (static_cast<int>(selected.size()) >= m) break;
+    bool diverse = true;
+    const std::vector<double>& cv = nodes_[static_cast<size_t>(c.id)].vec;
+    for (const SearchHit& s : selected) {
+      if (SquaredL2(cv, nodes_[static_cast<size_t>(s.id)].vec) < c.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(c);
+    } else {
+      skipped.push_back(c);
+    }
+  }
+  for (const SearchHit& c : skipped) {
+    if (static_cast<int>(selected.size()) >= m) break;
+    selected.push_back(c);
+  }
+  return selected;
+}
+
 Result<int> HnswIndex::Add(std::vector<double> vec) {
   if (static_cast<int>(vec.size()) != dim_) {
     return Status::InvalidArgument("vector dimension mismatch");
@@ -99,10 +148,16 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
   // Connect at each layer from min(max_level, node.level) down to 0.
   for (int layer = std::min(max_level_, nodes_[static_cast<size_t>(id)].level);
        layer >= 0; --layer) {
-    std::vector<SearchHit> neighbors =
+    std::vector<SearchHit> found =
         SearchLayer(q, entries, layer, options_.ef_construction);
-    int m = options_.max_neighbors;
-    if (static_cast<int>(neighbors.size()) > m) neighbors.resize(static_cast<size_t>(m));
+    // Standard HNSW degree bounds: M on the upper layers, 2*M on the base
+    // layer (Malkov & Yashunin's M_max0). The doubled base-layer bound and
+    // the diversity heuristic in SelectNeighbors are what keep the layer-0
+    // graph connected at small M: keeping only the m closest collapses the
+    // graph into mutual-nearest cliques that searches entering elsewhere
+    // can never reach.
+    int m = layer == 0 ? 2 * options_.max_neighbors : options_.max_neighbors;
+    std::vector<SearchHit> neighbors = SelectNeighbors(q, found, m);
     entries.clear();
     for (const SearchHit& h : neighbors) {
       entries.push_back(h.id);
@@ -112,13 +167,22 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
       if (layer < static_cast<int>(other.neighbors.size())) {
         auto& adj = other.neighbors[static_cast<size_t>(layer)];
         adj.push_back(id);
-        // Prune to the M closest to keep degree bounded.
         if (static_cast<int>(adj.size()) > m) {
-          std::sort(adj.begin(), adj.end(), [&](int a, int b) {
-            return SquaredL2(other.vec, nodes_[static_cast<size_t>(a)].vec) <
-                   SquaredL2(other.vec, nodes_[static_cast<size_t>(b)].vec);
-          });
-          adj.resize(static_cast<size_t>(m));
+          // Re-select `other`'s adjacency with the same diversity heuristic
+          // (distances re-measured from `other`).
+          std::vector<SearchHit> cand;
+          cand.reserve(adj.size());
+          for (int a : adj) {
+            cand.push_back(SearchHit{
+                a, SquaredL2(other.vec, nodes_[static_cast<size_t>(a)].vec)});
+          }
+          std::sort(cand.begin(), cand.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      return a.distance < b.distance;
+                    });
+          std::vector<SearchHit> kept = SelectNeighbors(other.vec, cand, m);
+          adj.clear();
+          for (const SearchHit& s : kept) adj.push_back(s.id);
         }
       }
     }

@@ -48,6 +48,13 @@ class HnswIndex {
   std::vector<SearchHit> SearchLayer(const std::vector<double>& query,
                                      std::vector<int> entries, int layer,
                                      int ef) const;
+  /// Malkov & Yashunin's Algorithm 4: pick up to m neighbours for `base`
+  /// from `candidates` (ascending by distance), preferring candidates that
+  /// are closer to `base` than to any already-selected neighbour, then
+  /// back-filling with the skipped ones (keepPrunedConnections).
+  std::vector<SearchHit> SelectNeighbors(const std::vector<double>& base,
+                                         const std::vector<SearchHit>& candidates,
+                                         int m) const;
 
   int dim_;
   Options options_;

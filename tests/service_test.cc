@@ -385,6 +385,36 @@ TEST(ExplainCacheTest, LruEvictsWithinShard) {
   EXPECT_EQ(cache.Lookup({0.0}), nullptr);
 }
 
+TEST(ExplainCacheTest, ZeroShardsOrCapacityFallBackToDefaults) {
+  // Regression: shards = 0 used to clamp to a single shard (serializing
+  // every worker on one mutex) and a zero capacity collapsed to one entry
+  // per shard. A zero is a misconfiguration, not a request for a
+  // degenerate cache — both now fall back to the documented defaults.
+  ShardedExplainCache::Options zeroed;
+  zeroed.shards = 0;
+  zeroed.capacity = 0;
+  ShardedExplainCache cache(zeroed);
+  ShardedExplainCache::Options defaults;
+  EXPECT_EQ(cache.options().shards, defaults.shards);
+  EXPECT_EQ(cache.options().capacity, defaults.capacity);
+
+  // And the defaulted cache actually works.
+  auto e = std::make_shared<CachedExplanation>();
+  e->embedding = {1.0, 2.0};
+  e->generation.text = "cached";
+  cache.Insert(e);
+  auto hit = cache.Lookup({1.0, 2.0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->generation.text, "cached");
+
+  // capacity < shards still rounds capacity up so each shard holds >= 1.
+  ShardedExplainCache::Options tiny;
+  tiny.shards = 8;
+  tiny.capacity = 2;
+  ShardedExplainCache small(tiny);
+  EXPECT_EQ(small.options().capacity, 8u);
+}
+
 TEST(MetricsTest, HistogramQuantilesAndCounters) {
   LatencyHistogram hist;
   for (int i = 0; i < 100; ++i) hist.Record(1.0);   // ~1 ms
