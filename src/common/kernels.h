@@ -1,0 +1,142 @@
+#ifndef HTAPEX_COMMON_KERNELS_H_
+#define HTAPEX_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace htapex {
+namespace kernels {
+
+/// Float32 compute kernels for the serving hot path (router inference,
+/// knowledge-base vector search). Every kernel has three implementations —
+/// AVX2+FMA, NEON, and a portable scalar fallback — selected once at
+/// startup by runtime CPU detection and overridable through the
+/// HTAPEX_KERNELS environment variable (`scalar`, `avx2`, `neon`, or
+/// `native`, the default). An unsupported request falls back to scalar, so
+/// a pinned `HTAPEX_KERNELS=scalar` run is valid on every machine — that is
+/// the determinism/A-B baseline CI exercises.
+///
+/// Numeric contract: all three backends compute the same mathematical
+/// expression over float32 inputs. SIMD backends may fuse multiply-adds
+/// (FMA), so results can differ from scalar by rounding in the last ulps;
+/// they may NOT differ in NaN/inf behaviour — a NaN or inf in the input
+/// propagates to the output on every backend (ReduceMax/MaxAccum enforce
+/// this explicitly, since hardware max instructions quietly drop NaNs).
+enum class Backend {
+  kScalar = 0,
+  kAvx2,
+  kNeon,
+};
+
+const char* BackendName(Backend backend);
+
+/// True when this build/CPU can run the given backend.
+bool BackendSupported(Backend backend);
+
+/// The backend every kernel below dispatches to. Resolved once, on first
+/// use, from CPU detection + HTAPEX_KERNELS.
+Backend ActiveBackend();
+
+/// Test/bench hook: re-points the dispatch table (and ActiveBackend()) at
+/// the given backend if supported (returns false otherwise). NOT
+/// thread-safe — call only while no kernels are in flight. Production code
+/// must rely on the startup selection instead.
+bool ForceBackendForTest(Backend backend);
+
+/// Squared L2 distance between two float32 vectors of length n.
+float SquaredL2(const float* a, const float* b, int n);
+
+/// C[m x n] += A[m x k] * B[k x n], all row-major. The workhorse behind the
+/// frozen tree-CNN conv layers: all nodes of a layer go through one blocked
+/// GEMM instead of per-node branchy matvecs.
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// y[0..cols) += x[0..rows) * W[rows x cols] (row-major W) — the m == 1
+/// GEMM, kept as its own entry point (and counter) because single-vector
+/// dense layers call it directly.
+void MatVecAccum(const float* w, const float* x, int rows, int cols, float* y);
+
+/// y[i] += alpha * x[i].
+void Axpy(float alpha, const float* x, float* y, int n);
+
+/// x[i] = max(x[i], 0); NaN stays NaN.
+void Relu(float* x, int n);
+
+/// Maximum element of x[0..n); returns NaN if any element is NaN, -inf for
+/// n == 0.
+float ReduceMax(const float* x, int n);
+
+/// acc[i] = max(acc[i], x[i]); a NaN in either operand yields NaN. Used for
+/// the tree-CNN dynamic max pool (column-wise max over node rows).
+void MaxAccum(float* acc, const float* x, int n);
+
+/// Per-kernel invocation counters (relaxed atomics, process-wide), exported
+/// into the Prometheus exposition next to the dispatch gauge so an operator
+/// can see both which backend is live and how hot each kernel runs.
+struct KernelStats {
+  Backend backend = Backend::kScalar;
+  uint64_t squared_l2 = 0;
+  uint64_t gemm = 0;
+  uint64_t matvec = 0;
+  uint64_t axpy = 0;
+  uint64_t relu = 0;
+  uint64_t reduce_max = 0;
+  uint64_t max_accum = 0;
+};
+KernelStats Stats();
+
+/// Bump allocator for inference scratch space. One Arena per thread
+/// (ThreadArena()); a forward pass Reset()s it and carves all of its
+/// activation/gather buffers out of it, so steady-state inference performs
+/// zero heap allocations — `grows` stops moving once the high-water mark is
+/// reached, which is exactly what bench_kernels asserts.
+///
+/// Pointers returned by Alloc stay valid until the next Reset() even if a
+/// later Alloc has to grow (growth appends a new chunk; it never moves
+/// existing ones). Reset() coalesces multiple chunks into one, so the
+/// steady state is a single buffer reused forever.
+class Arena {
+ public:
+  struct Stats {
+    uint64_t grows = 0;       // heap allocations performed (ever)
+    uint64_t resets = 0;      // Reset() calls
+    size_t capacity_bytes = 0;
+    size_t used_bytes = 0;
+  };
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// n floats of scratch, zero-initialization NOT guaranteed.
+  float* AllocFloats(size_t n);
+  /// Same buffer pool, int-typed view (gather index lists).
+  int* AllocInts(size_t n);
+
+  /// Makes all previously allocated memory reusable (no free).
+  void Reset();
+
+  Stats stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t capacity = 0;  // bytes
+    size_t used = 0;      // bytes
+  };
+
+  void* AllocBytes(size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  Stats stats_;
+};
+
+/// The calling thread's inference arena.
+Arena& ThreadArena();
+
+}  // namespace kernels
+}  // namespace htapex
+
+#endif  // HTAPEX_COMMON_KERNELS_H_

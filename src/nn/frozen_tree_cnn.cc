@@ -1,0 +1,221 @@
+#include "nn/frozen_tree_cnn.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/kernels.h"
+
+namespace htapex {
+
+namespace {
+
+std::vector<float> ToFloat(const std::vector<double>& v) {
+  std::vector<float> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
+}
+
+/// Copies `bias` (len `cols`) into every one of `rows` rows of `c`.
+void BroadcastBias(const float* bias, float* c, int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    std::memcpy(c + static_cast<size_t>(i) * cols, bias,
+                static_cast<size_t>(cols) * sizeof(float));
+  }
+}
+
+}  // namespace
+
+FrozenTreeCnn::FrozenTreeCnn(const TreeCnn& master)
+    : feature_dim_(master.config_.feature_dim),
+      conv1_(master.config_.conv1),
+      conv2_(master.config_.conv2),
+      embed_(master.config_.embed),
+      ws1_(ToFloat(master.ws1_.v)),
+      wl1_(ToFloat(master.wl1_.v)),
+      wr1_(ToFloat(master.wr1_.v)),
+      b1_(ToFloat(master.b1_.v)),
+      ws2_(ToFloat(master.ws2_.v)),
+      wl2_(ToFloat(master.wl2_.v)),
+      wr2_(ToFloat(master.wr2_.v)),
+      b2_(ToFloat(master.b2_.v)),
+      we_(ToFloat(master.we_.v)),
+      be_(ToFloat(master.be_.v)),
+      wo_(ToFloat(master.wo_.v)),
+      bo_(ToFloat(master.bo_.v)) {}
+
+size_t FrozenTreeCnn::ByteSize() const {
+  size_t n = ws1_.size() + wl1_.size() + wr1_.size() + b1_.size() +
+             ws2_.size() + wl2_.size() + wr2_.size() + b2_.size() +
+             we_.size() + be_.size() + wo_.size() + bo_.size();
+  return n * sizeof(float);
+}
+
+double FrozenTreeCnn::PredictApFaster(
+    const PlanTreeFeatures& tp, const PlanTreeFeatures& ap,
+    std::vector<double>* pair_embedding) const {
+  std::vector<const PlanTreeFeatures*> tps = {&tp};
+  std::vector<const PlanTreeFeatures*> aps = {&ap};
+  std::vector<double> p_ap;
+  std::vector<std::vector<double>> embeddings;
+  PredictBatch(tps, aps, &p_ap,
+               pair_embedding != nullptr ? &embeddings : nullptr);
+  if (pair_embedding != nullptr) *pair_embedding = std::move(embeddings[0]);
+  return p_ap[0];
+}
+
+void FrozenTreeCnn::PredictBatch(
+    const std::vector<const PlanTreeFeatures*>& tps,
+    const std::vector<const PlanTreeFeatures*>& aps,
+    std::vector<double>* p_ap,
+    std::vector<std::vector<double>>* embeddings) const {
+  const int num_pairs = static_cast<int>(tps.size());
+  const int num_plans = 2 * num_pairs;
+  const int f = feature_dim_;
+  const int c1 = conv1_;
+  const int c2 = conv2_;
+  const int e = embed_;
+
+  p_ap->resize(static_cast<size_t>(num_pairs));
+  if (embeddings != nullptr) {
+    embeddings->resize(static_cast<size_t>(num_pairs));
+  }
+  if (num_pairs == 0) return;
+
+  kernels::Arena& arena = kernels::ThreadArena();
+  arena.Reset();
+
+  // Interleaved plan order (tp0, ap0, tp1, ap1, ...): the per-plan
+  // embedding matrix [num_plans x E] then doubles as the pair-embedding
+  // matrix [num_pairs x 2E] without any reshuffle.
+  auto plan_at = [&](int p) -> const PlanTreeFeatures& {
+    return (p & 1) ? *aps[static_cast<size_t>(p / 2)]
+                   : *tps[static_cast<size_t>(p / 2)];
+  };
+
+  int* row_off = arena.AllocInts(static_cast<size_t>(num_plans) + 1);
+  int total = 0;
+  for (int p = 0; p < num_plans; ++p) {
+    row_off[p] = total;
+    total += plan_at(p).num_nodes;
+  }
+  row_off[num_plans] = total;
+
+  // Layer-1 gather: node features plus left/right child features (zero
+  // rows where a child is absent), so the tree convolution becomes three
+  // dense GEMMs over every node of every plan at once.
+  float* xs = arena.AllocFloats(static_cast<size_t>(total) * f);
+  float* xl = arena.AllocFloats(static_cast<size_t>(total) * f);
+  float* xr = arena.AllocFloats(static_cast<size_t>(total) * f);
+  const size_t rowbytes = static_cast<size_t>(f) * sizeof(float);
+  for (int p = 0; p < num_plans; ++p) {
+    const PlanTreeFeatures& plan = plan_at(p);
+    const int base = row_off[p];
+    for (int i = 0; i < plan.num_nodes; ++i) {
+      float* row = xs + static_cast<size_t>(base + i) * f;
+      const double* src = &plan.x[static_cast<size_t>(i) * f];
+      for (int j = 0; j < f; ++j) row[j] = static_cast<float>(src[j]);
+    }
+    // Each gather row is written exactly once: a child copy when the link
+    // exists, zeros when it does not.
+    for (int i = 0; i < plan.num_nodes; ++i) {
+      int l = plan.left[static_cast<size_t>(i)];
+      int r = plan.right[static_cast<size_t>(i)];
+      float* lrow = xl + static_cast<size_t>(base + i) * f;
+      float* rrow = xr + static_cast<size_t>(base + i) * f;
+      if (l >= 0) {
+        std::memcpy(lrow, xs + static_cast<size_t>(base + l) * f, rowbytes);
+      } else {
+        std::memset(lrow, 0, rowbytes);
+      }
+      if (r >= 0) {
+        std::memcpy(rrow, xs + static_cast<size_t>(base + r) * f, rowbytes);
+      } else {
+        std::memset(rrow, 0, rowbytes);
+      }
+    }
+  }
+
+  float* h1 = arena.AllocFloats(static_cast<size_t>(total) * c1);
+  BroadcastBias(b1_.data(), h1, total, c1);
+  kernels::GemmAccum(xs, ws1_.data(), h1, total, f, c1);
+  kernels::GemmAccum(xl, wl1_.data(), h1, total, f, c1);
+  kernels::GemmAccum(xr, wr1_.data(), h1, total, f, c1);
+  kernels::Relu(h1, total * c1);
+
+  // Layer-2 gather: child rows of H1 (same link structure, same
+  // write-once discipline).
+  const size_t h1rowbytes = static_cast<size_t>(c1) * sizeof(float);
+  float* h1l = arena.AllocFloats(static_cast<size_t>(total) * c1);
+  float* h1r = arena.AllocFloats(static_cast<size_t>(total) * c1);
+  for (int p = 0; p < num_plans; ++p) {
+    const PlanTreeFeatures& plan = plan_at(p);
+    const int base = row_off[p];
+    for (int i = 0; i < plan.num_nodes; ++i) {
+      int l = plan.left[static_cast<size_t>(i)];
+      int r = plan.right[static_cast<size_t>(i)];
+      float* lrow = h1l + static_cast<size_t>(base + i) * c1;
+      float* rrow = h1r + static_cast<size_t>(base + i) * c1;
+      if (l >= 0) {
+        std::memcpy(lrow, h1 + static_cast<size_t>(base + l) * c1,
+                    h1rowbytes);
+      } else {
+        std::memset(lrow, 0, h1rowbytes);
+      }
+      if (r >= 0) {
+        std::memcpy(rrow, h1 + static_cast<size_t>(base + r) * c1,
+                    h1rowbytes);
+      } else {
+        std::memset(rrow, 0, h1rowbytes);
+      }
+    }
+  }
+
+  float* h2 = arena.AllocFloats(static_cast<size_t>(total) * c2);
+  BroadcastBias(b2_.data(), h2, total, c2);
+  kernels::GemmAccum(h1, ws2_.data(), h2, total, c1, c2);
+  kernels::GemmAccum(h1l, wl2_.data(), h2, total, c1, c2);
+  kernels::GemmAccum(h1r, wr2_.data(), h2, total, c1, c2);
+  kernels::Relu(h2, total * c2);
+
+  // Dynamic max pool per plan: column-wise max over that plan's node rows.
+  float* pooled = arena.AllocFloats(static_cast<size_t>(num_plans) * c2);
+  for (int p = 0; p < num_plans; ++p) {
+    float* prow = pooled + static_cast<size_t>(p) * c2;
+    const int base = row_off[p];
+    const int n = row_off[p + 1] - base;
+    std::memcpy(prow, h2 + static_cast<size_t>(base) * c2,
+                static_cast<size_t>(c2) * sizeof(float));
+    for (int i = 1; i < n; ++i) {
+      kernels::MaxAccum(prow, h2 + static_cast<size_t>(base + i) * c2, c2);
+    }
+  }
+
+  // Dense embedding; interleaving makes `emb` the Z matrix [num_pairs x 2E].
+  float* emb = arena.AllocFloats(static_cast<size_t>(num_plans) * e);
+  BroadcastBias(be_.data(), emb, num_plans, e);
+  kernels::GemmAccum(pooled, we_.data(), emb, num_plans, c2, e);
+  kernels::Relu(emb, num_plans * e);
+
+  float* logits = arena.AllocFloats(static_cast<size_t>(num_pairs) * 2);
+  BroadcastBias(bo_.data(), logits, num_pairs, 2);
+  kernels::GemmAccum(emb, wo_.data(), logits, num_pairs, 2 * e, 2);
+
+  for (int i = 0; i < num_pairs; ++i) {
+    double l0 = logits[static_cast<size_t>(i) * 2];
+    double l1 = logits[static_cast<size_t>(i) * 2 + 1];
+    double m = std::max(l0, l1);
+    double e0 = std::exp(l0 - m);
+    double e1 = std::exp(l1 - m);
+    (*p_ap)[static_cast<size_t>(i)] = e1 / (e0 + e1);
+    if (embeddings != nullptr) {
+      const float* z = emb + static_cast<size_t>(i) * 2 * e;
+      std::vector<double>& out = (*embeddings)[static_cast<size_t>(i)];
+      out.resize(static_cast<size_t>(2 * e));
+      for (int j = 0; j < 2 * e; ++j) {
+        out[static_cast<size_t>(j)] = static_cast<double>(z[j]);
+      }
+    }
+  }
+}
+
+}  // namespace htapex

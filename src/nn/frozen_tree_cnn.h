@@ -1,0 +1,74 @@
+#ifndef HTAPEX_NN_FROZEN_TREE_CNN_H_
+#define HTAPEX_NN_FROZEN_TREE_CNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tree_cnn.h"
+
+namespace htapex {
+
+/// Immutable float32 snapshot of a TreeCnn for the serving hot path.
+///
+/// Training stays on the double-precision master (`TreeCnn`); after every
+/// weight update the router re-freezes a snapshot, and all inference —
+/// single pair or batch — runs here. Two things make this path fast:
+///
+///   1. Layer-batched GEMMs. Instead of per-node branchy matvecs, every
+///      plan node of every plan in the batch goes through one blocked
+///      `kernels::GemmAccum` per conv weight matrix: child features are
+///      gathered into dense Xl/Xr matrices (zero rows for absent children),
+///      so the three tree-conv terms become three GEMMs over the whole
+///      layer. Plans are laid out interleaved (tp0, ap0, tp1, ap1, ...), so
+///      the per-plan embedding matrix IS the pair-embedding matrix
+///      [P x 2E] viewed row-wise, and the output layer is one more GEMM.
+///   2. Arena scratch. All activations and gather buffers come from the
+///      calling thread's `kernels::ThreadArena()`; once the arena reaches
+///      its high-water mark, steady-state inference performs zero heap
+///      allocations (asserted by bench_kernels via arena stats).
+///
+/// Numeric contract: float32 + FMA, so probabilities differ from the double
+/// master in the last ulps. Routing verdicts (p >= 0.5) and retrieval top-K
+/// must not differ on the eval workload — the parity tests and the
+/// bench_kernels gate hold the snapshot to that.
+class FrozenTreeCnn {
+ public:
+  /// Snapshots the master's current weights (float32 copies).
+  explicit FrozenTreeCnn(const TreeCnn& master);
+
+  int pair_embedding_dim() const { return 2 * embed_; }
+
+  /// Softmax probability that AP is faster; optionally returns the pair
+  /// embedding. Same signature/semantics as TreeCnn::PredictApFaster.
+  double PredictApFaster(const PlanTreeFeatures& tp,
+                         const PlanTreeFeatures& ap,
+                         std::vector<double>* pair_embedding = nullptr) const;
+
+  /// Batched inference over `tps.size()` plan pairs (tps/aps parallel
+  /// arrays). Fills p_ap[i] for every pair; when `embeddings` is non-null
+  /// also fills embeddings[i] with the 2E-dim pair embedding. One set of
+  /// layer GEMMs covers the whole batch.
+  void PredictBatch(const std::vector<const PlanTreeFeatures*>& tps,
+                    const std::vector<const PlanTreeFeatures*>& aps,
+                    std::vector<double>* p_ap,
+                    std::vector<std::vector<double>>* embeddings) const;
+
+  /// Serialized float32 footprint — the size the paper's < 1 MB model
+  /// budget is checked against for serving.
+  size_t ByteSize() const;
+
+ private:
+  int feature_dim_;
+  int conv1_;
+  int conv2_;
+  int embed_;
+  // Same layout as the master tensors, float32.
+  std::vector<float> ws1_, wl1_, wr1_, b1_;
+  std::vector<float> ws2_, wl2_, wr2_, b2_;
+  std::vector<float> we_, be_;
+  std::vector<float> wo_, bo_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_NN_FROZEN_TREE_CNN_H_

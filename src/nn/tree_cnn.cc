@@ -1,8 +1,11 @@
 #include "nn/tree_cnn.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 
+#include "common/crc32.h"
 #include "common/rng.h"
 
 namespace htapex {
@@ -325,18 +328,47 @@ size_t TreeCnn::NumParameters() const {
   return n;
 }
 
-size_t TreeCnn::ByteSize() const { return NumParameters() * sizeof(float); }
+size_t TreeCnn::ByteSize() const { return NumParameters() * sizeof(double); }
+
+size_t TreeCnn::FrozenByteSize() const {
+  return NumParameters() * sizeof(float);
+}
 
 Status TreeCnn::Save(const std::string& path) const {
-  std::FILE* fp = std::fopen(path.c_str(), "wb");
-  if (fp == nullptr) return Status::IoError("cannot open for write: " + path);
+  // Temp file + checked writes + CRC32 footer + atomic rename: a full disk
+  // or a crash leaves either the previous good model or the complete new
+  // one, and Load detects any torn/bit-rotted file via the checksum.
+  std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) return Status::IoError("cannot open for write: " + tmp);
+  auto fail = [&](const std::string& msg) {
+    std::fclose(fp);
+    std::remove(tmp.c_str());
+    return Status::IoError(msg);
+  };
   int32_t header[4] = {config_.feature_dim, config_.conv1, config_.conv2,
                        config_.embed};
-  std::fwrite(header, sizeof(header), 1, fp);
+  uint32_t crc = Crc32(header, sizeof(header));
+  if (std::fwrite(header, sizeof(header), 1, fp) != 1) {
+    return fail("short write to " + tmp);
+  }
   for (const Tensor* t : AllTensors()) {
-    std::fwrite(t->v.data(), sizeof(double), t->v.size(), fp);
+    size_t bytes = t->v.size() * sizeof(double);
+    crc = Crc32(t->v.data(), bytes, crc);
+    if (std::fwrite(t->v.data(), sizeof(double), t->v.size(), fp) !=
+        t->v.size()) {
+      return fail("short write to " + tmp);
+    }
+  }
+  if (std::fwrite(&crc, sizeof(crc), 1, fp) != 1 || std::fflush(fp) != 0 ||
+      ::fsync(::fileno(fp)) != 0) {
+    return fail("short write to " + tmp);
   }
   std::fclose(fp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 
@@ -353,14 +385,31 @@ Status TreeCnn::Load(const std::string& path) {
     std::fclose(fp);
     return Status::InvalidArgument("model dimensions do not match: " + path);
   }
+  // Stage into fresh buffers so a truncated/corrupt file cannot leave the
+  // live model half-overwritten.
+  uint32_t crc = Crc32(header, sizeof(header));
+  std::vector<std::vector<double>> staged;
   for (Tensor* t : AllTensors()) {
-    if (std::fread(t->v.data(), sizeof(double), t->v.size(), fp) !=
-        t->v.size()) {
+    std::vector<double> buf(t->v.size());
+    if (std::fread(buf.data(), sizeof(double), buf.size(), fp) !=
+        buf.size()) {
       std::fclose(fp);
       return Status::IoError("truncated model file: " + path);
     }
+    crc = Crc32(buf.data(), buf.size() * sizeof(double), crc);
+    staged.push_back(std::move(buf));
+  }
+  uint32_t stored_crc = 0;
+  if (std::fread(&stored_crc, sizeof(stored_crc), 1, fp) != 1) {
+    std::fclose(fp);
+    return Status::IoError("model file missing CRC32 footer: " + path);
   }
   std::fclose(fp);
+  if (stored_crc != crc) {
+    return Status::IoError("model file CRC32 mismatch: " + path);
+  }
+  size_t i = 0;
+  for (Tensor* t : AllTensors()) t->v = std::move(staged[i++]);
   return Status::OK();
 }
 

@@ -72,14 +72,21 @@ class TreeCnn {
   double TrainBatch(const std::vector<const PairExample*>& batch,
                     double learning_rate);
 
-  /// Serialized model size in bytes (what the paper quotes as < 1 MB).
+  /// Serialized size of the double-precision master in bytes (the on-disk
+  /// format Save/Load use).
   size_t ByteSize() const;
+  /// Size of the float32 frozen serving snapshot in bytes — the figure the
+  /// paper's < 1 MB model budget is checked against.
+  size_t FrozenByteSize() const;
   size_t NumParameters() const;
 
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
  private:
+  // The float32 serving snapshot copies the weight tensors directly.
+  friend class FrozenTreeCnn;
+
   struct Tensor {
     std::vector<double> v;  // parameters
     std::vector<double> g;  // gradient accumulator

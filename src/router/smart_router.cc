@@ -12,6 +12,18 @@ SmartRouter::SmartRouter(uint64_t seed) : seed_(seed) {
   config.feature_dim = kPlanFeatureDim;
   config.seed = seed;
   cnn_ = std::make_unique<TreeCnn>(config);
+  RefreshFrozen();
+}
+
+void SmartRouter::RefreshFrozen() {
+  frozen_ = std::make_unique<FrozenTreeCnn>(*cnn_);
+}
+
+void SmartRouter::Quantize(std::vector<double>* embedding) const {
+  if (quant_step_ <= 0) return;
+  for (double& v : *embedding) {
+    v = std::round(v / quant_step_) * quant_step_;
+  }
 }
 
 PairExample SmartRouter::MakeExample(const PlanPair& plans,
@@ -50,6 +62,7 @@ RouterTrainStats SmartRouter::Train(const std::vector<PairExample>& dataset,
     }
     loss /= std::max(batches, 1);
   }
+  RefreshFrozen();  // weights changed; EvaluateAccuracy below uses frozen
   stats.epochs = epochs;
   stats.final_loss = loss;
   stats.train_accuracy = EvaluateAccuracy(dataset);
@@ -57,12 +70,44 @@ RouterTrainStats SmartRouter::Train(const std::vector<PairExample>& dataset,
   return stats;
 }
 
+Status SmartRouter::Load(const std::string& path) {
+  Status s = cnn_->Load(path);
+  if (s.ok()) RefreshFrozen();
+  return s;
+}
+
 double SmartRouter::ApProbability(const PlanPair& plans) const {
-  return cnn_->PredictApFaster(FeaturizePlan(plans.tp), FeaturizePlan(plans.ap));
+  return frozen_->PredictApFaster(FeaturizePlan(plans.tp),
+                                  FeaturizePlan(plans.ap));
 }
 
 EngineKind SmartRouter::Route(const PlanPair& plans) const {
   return ApProbability(plans) >= 0.5 ? EngineKind::kAp : EngineKind::kTp;
+}
+
+std::vector<RoutedPair> SmartRouter::RouteBatch(
+    const std::vector<const PlanPair*>& pairs) const {
+  std::vector<RoutedPair> out(pairs.size());
+  if (pairs.empty()) return out;
+  std::vector<PlanTreeFeatures> features(2 * pairs.size());
+  std::vector<const PlanTreeFeatures*> tps(pairs.size());
+  std::vector<const PlanTreeFeatures*> aps(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    features[2 * i] = FeaturizePlan(pairs[i]->tp);
+    features[2 * i + 1] = FeaturizePlan(pairs[i]->ap);
+    tps[i] = &features[2 * i];
+    aps[i] = &features[2 * i + 1];
+  }
+  std::vector<double> p_ap;
+  std::vector<std::vector<double>> embeddings;
+  frozen_->PredictBatch(tps, aps, &p_ap, &embeddings);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    out[i].p_ap = p_ap[i];
+    out[i].route = p_ap[i] >= 0.5 ? EngineKind::kAp : EngineKind::kTp;
+    out[i].embedding = std::move(embeddings[i]);
+    Quantize(&out[i].embedding);
+  }
+  return out;
 }
 
 std::vector<double> SmartRouter::Embed(const PlanPair& plans) const {
@@ -72,12 +117,21 @@ std::vector<double> SmartRouter::Embed(const PlanPair& plans) const {
 std::vector<double> SmartRouter::EmbedFeatures(
     const PlanTreeFeatures& tp, const PlanTreeFeatures& ap) const {
   std::vector<double> embedding;
-  cnn_->PredictApFaster(tp, ap, &embedding);
-  if (quant_step_ > 0) {
-    for (double& v : embedding) {
-      v = std::round(v / quant_step_) * quant_step_;
-    }
-  }
+  frozen_->PredictApFaster(tp, ap, &embedding);
+  Quantize(&embedding);
+  return embedding;
+}
+
+double SmartRouter::ApProbabilityMaster(const PlanPair& plans) const {
+  return cnn_->PredictApFaster(FeaturizePlan(plans.tp),
+                               FeaturizePlan(plans.ap));
+}
+
+std::vector<double> SmartRouter::EmbedMaster(const PlanPair& plans) const {
+  std::vector<double> embedding;
+  cnn_->PredictApFaster(FeaturizePlan(plans.tp), FeaturizePlan(plans.ap),
+                        &embedding);
+  Quantize(&embedding);
   return embedding;
 }
 
@@ -86,7 +140,7 @@ double SmartRouter::EvaluateAccuracy(
   if (dataset.empty()) return 0.0;
   int correct = 0;
   for (const PairExample& ex : dataset) {
-    double p = cnn_->PredictApFaster(ex.tp, ex.ap);
+    double p = frozen_->PredictApFaster(ex.tp, ex.ap);
     int pred = p >= 0.5 ? 1 : 0;
     if (pred == ex.label) ++correct;
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/frozen_tree_cnn.h"
 #include "nn/tree_cnn.h"
 #include "plan/plan_node.h"
 #include "router/plan_featurizer.h"
@@ -19,11 +20,24 @@ struct RouterTrainStats {
   double wall_seconds = 0.0;
 };
 
+/// One routed plan pair out of SmartRouter::RouteBatch.
+struct RoutedPair {
+  double p_ap = 0.0;        // probability AP is faster
+  EngineKind route = EngineKind::kTp;
+  std::vector<double> embedding;  // quantized pair embedding (2E dims)
+};
+
 /// ByteHTAP's "smart router": a lightweight tree-CNN classifier that
 /// predicts which engine will run a query faster, and whose penultimate
 /// layer provides the 16-dim plan-pair embeddings used as knowledge-base
 /// keys (Section III of the paper). Model size is ~100 KB, inference is
 /// sub-millisecond — matching the paper's "<1 MB, ~1 ms" characterization.
+///
+/// Training runs on the double-precision master (`TreeCnn`); inference runs
+/// on a frozen float32 snapshot (`FrozenTreeCnn`) that is re-frozen after
+/// every weight change. The `*Master` variants route/embed through the
+/// double master — they exist so tests and bench_kernels can assert the
+/// parity contract (identical verdicts and top-K, embeddings within 1e-4).
 class SmartRouter {
  public:
   explicit SmartRouter(uint64_t seed = 7);
@@ -40,6 +54,12 @@ class SmartRouter {
   /// Routing decision.
   EngineKind Route(const PlanPair& plans) const;
 
+  /// Routes + embeds a whole admission batch in one frozen forward pass
+  /// (all plan nodes of a conv layer go through one GEMM). Output is
+  /// index-aligned with `pairs`.
+  std::vector<RoutedPair> RouteBatch(
+      const std::vector<const PlanPair*>& pairs) const;
+
   /// Embedding quantization step (0 = off). Stored knowledge-base keys and
   /// query embeddings are snapped to this grid, modelling the compressed
   /// vector codes a production KB stores. Coarser steps save space but make
@@ -55,15 +75,28 @@ class SmartRouter {
                                     const PlanTreeFeatures& ap) const;
   int embedding_dim() const { return cnn_->pair_embedding_dim(); }
 
+  /// Double-precision master paths — the parity reference for the frozen
+  /// float32 inference above.
+  double ApProbabilityMaster(const PlanPair& plans) const;
+  std::vector<double> EmbedMaster(const PlanPair& plans) const;
+
   /// Fraction of examples routed correctly.
   double EvaluateAccuracy(const std::vector<PairExample>& dataset) const;
 
+  /// Double-precision master footprint (the Save/Load format).
   size_t model_bytes() const { return cnn_->ByteSize(); }
+  /// Float32 serving-snapshot footprint (the paper's < 1 MB budget).
+  size_t frozen_model_bytes() const { return frozen_->ByteSize(); }
   Status Save(const std::string& path) const { return cnn_->Save(path); }
-  Status Load(const std::string& path) { return cnn_->Load(path); }
+  Status Load(const std::string& path);
 
  private:
+  /// Re-snapshots the frozen model from the master weights.
+  void RefreshFrozen();
+  void Quantize(std::vector<double>* embedding) const;
+
   std::unique_ptr<TreeCnn> cnn_;
+  std::unique_ptr<FrozenTreeCnn> frozen_;
   uint64_t seed_;
   double quant_step_ = 0.0;
 };

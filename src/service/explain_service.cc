@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "common/kernels.h"
 #include "common/logging.h"
 #include "common/sim_clock.h"
 #include "durable/durable_kb.h"
@@ -137,10 +139,16 @@ Result<ExplainResult> ExplainService::ExplainSync(const std::string& sql,
 
 void ExplainService::WorkerLoop() {
   // Workers drain in small batches: one lock round-trip per kPopBatch
-  // requests instead of per request, which is what lets throughput scale
-  // when individual requests are cheap (cache hits).
+  // requests instead of per request, and the whole drain goes through ONE
+  // batched stage one (HtapExplainer::PrepareBatch) — per-query binding and
+  // planning, then a single frozen-router forward pass that featurizes and
+  // embeds every admitted request together.
   constexpr size_t kPopBatch = 8;
   std::vector<Request> batch;
+  std::vector<size_t> admitted;                 // indices past budget triage
+  std::vector<std::string> sqls;                // aligned with admitted
+  std::vector<std::shared_ptr<Trace>> traces;   // aligned with admitted
+  std::vector<Trace*> trace_ptrs;               // aligned with admitted
   for (;;) {
     batch.clear();
     {
@@ -154,29 +162,75 @@ void ExplainService::WorkerLoop() {
       }
     }
     space_cv_.notify_all();
-    for (Request& req : batch) {
-      Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
-        double waited_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - req.enqueued)
-                               .count();
-        double remaining = 0.0;
-        if (req.budget_ms > 0.0) {
-          remaining = req.budget_ms - waited_ms;
-          if (remaining <= 0.0) {
-            // The budget died in the queue: shed the request before any
-            // analysis/retrieval/generation is spent on it.
+
+    // Budget triage: requests whose budget died in the queue are shed
+    // before any binding/planning/embedding is spent on them.
+    admitted.clear();
+    sqls.clear();
+    traces.clear();
+    trace_ptrs.clear();
+    std::vector<std::optional<Result<ExplainResult>>> results(batch.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      double waited_ms =
+          std::chrono::duration<double, std::milli>(now - batch[i].enqueued)
+              .count();
+      if (batch[i].budget_ms > 0.0 && batch[i].budget_ms - waited_ms <= 0.0) {
+        // The budget died in the queue: shed the request before any
+        // binding/planning/embedding is spent on it.
+        metrics_.early_rejections.Inc();
+        results[i] = Result<ExplainResult>(Status::DeadlineExceeded(
+            "request budget exhausted while queued"));
+        continue;
+      }
+      std::shared_ptr<Trace> trace;
+      if (config_.tracing) {
+        trace = std::make_shared<Trace>(
+            next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1,
+            batch[i].sql);
+        // Always present (even ~0 ms) so every trace has the same span set
+        // for a given pipeline path — the determinism tests rely on that.
+        trace->AddSpan(spanname::kQueueWait, waited_ms, /*simulated=*/false);
+      }
+      admitted.push_back(i);
+      sqls.push_back(batch[i].sql);
+      trace_ptrs.push_back(trace.get());
+      traces.push_back(std::move(trace));
+    }
+
+    if (!admitted.empty()) {
+      std::vector<Result<PreparedQuery>> prepared =
+          explainer_->PrepareBatch(sqls, trace_ptrs);
+      for (size_t j = 0; j < admitted.size(); ++j) {
+        const size_t i = admitted[j];
+        double left = 0.0;
+        if (batch[i].budget_ms > 0.0) {
+          // Re-triage: earlier requests of this drain (and the batched
+          // prepare) ran on this worker's wall clock, so a budget that
+          // survived the queue can still die waiting its turn here.
+          double waited_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 batch[i].enqueued)
+                                 .count();
+          left = batch[i].budget_ms - waited_ms;
+          if (left <= 0.0) {
             metrics_.early_rejections.Inc();
-            return Status::DeadlineExceeded(
-                "request budget exhausted while queued");
+            results[i] = Result<ExplainResult>(Status::DeadlineExceeded(
+                "request budget exhausted while queued"));
+            continue;
           }
         }
-        return Process(req.sql, remaining, waited_ms);
-      }();
-      RecordDegradation(result);
+        results[i] =
+            ProcessPrepared(std::move(prepared[j]), left, std::move(traces[j]));
+      }
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      RecordDegradation(*results[i]);
       // Count before fulfilling the promise so a caller who wakes from the
       // future already sees this request in Stats().
       metrics_.completed.Inc();
-      req.promise.set_value(std::move(result));
+      batch[i].promise.set_value(std::move(*results[i]));
     }
   }
 }
@@ -202,26 +256,14 @@ void ExplainService::RecordDegradation(const Result<ExplainResult>& result) {
   }
 }
 
-Result<ExplainResult> ExplainService::Process(const std::string& sql,
-                                              double budget_ms,
-                                              double waited_ms) {
-  std::shared_ptr<Trace> trace;
-  if (config_.tracing) {
-    trace = std::make_shared<Trace>(
-        next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1, sql);
-    // Always present (even ~0 ms) so every trace has the same span set for
-    // a given pipeline path — the determinism tests rely on that.
-    trace->AddSpan(spanname::kQueueWait, waited_ms, /*simulated=*/false);
+Result<ExplainResult> ExplainService::ProcessPrepared(
+    Result<PreparedQuery> prepared_or, double budget_ms,
+    std::shared_ptr<Trace> trace) {
+  if (!prepared_or.ok()) {
+    metrics_.errors.Inc();
+    return prepared_or.status();
   }
-  PreparedQuery prepared;
-  {
-    auto r = explainer_->Prepare(sql, trace.get());
-    if (!r.ok()) {
-      metrics_.errors.Inc();
-      return r.status();
-    }
-    prepared = std::move(r).value();
-  }
+  PreparedQuery prepared = std::move(prepared_or).value();
   metrics_.encode.Record(prepared.encode_ms);
 
   double lookup_ms = 0.0;
@@ -437,6 +479,29 @@ std::string ExplainService::ExpositionText() const {
     b.Counter("htapex_replayed_records_total",
               "WAL records applied during recovery", d.replayed_records);
   }
+
+  // Kernel dispatch: which SIMD backend is live (constant 1 gauge, labeled
+  // by backend) and how hot each kernel runs — process-wide counters, so an
+  // operator can correlate backend choice with the span latencies below.
+  kernels::KernelStats k = kernels::Stats();
+  b.Gauge("htapex_kernel_backend",
+          "Active compute-kernel dispatch backend (constant 1)", 1.0,
+          {{"backend", kernels::BackendName(k.backend)}});
+  const char* kKernelHelp = "Compute-kernel invocations by kernel";
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.squared_l2,
+            {{"kernel", "squared_l2"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.gemm,
+            {{"kernel", "gemm"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.matvec,
+            {{"kernel", "matvec"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.axpy,
+            {{"kernel", "axpy"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.relu,
+            {{"kernel", "relu"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.reduce_max,
+            {{"kernel", "reduce_max"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.max_accum,
+            {{"kernel", "max_accum"}});
 
   const char* kStageHelp = "Service stage latency summaries";
   b.Summary("htapex_stage_latency_ms", kStageHelp, s.encode,

@@ -153,8 +153,11 @@ class ExplainService {
   };
 
   void WorkerLoop();
-  Result<ExplainResult> Process(const std::string& sql, double budget_ms,
-                                double waited_ms);
+  /// Cache probe + stage two for one request whose stage one (bind/plan/
+  /// batched embed) already ran via HtapExplainer::PrepareBatch.
+  Result<ExplainResult> ProcessPrepared(Result<PreparedQuery> prepared_or,
+                                        double budget_ms,
+                                        std::shared_ptr<Trace> trace);
   /// Counts the result against the degradation-mix counters.
   void RecordDegradation(const Result<ExplainResult>& result);
   /// Feeds the completed trace to the per-span histograms, the slow-request

@@ -2,10 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
-#include <set>
+
+#include "common/kernels.h"
 
 namespace htapex {
+
+namespace {
+
+// Heap comparators over the pooled backing vectors. std::push_heap with
+// `greater` builds a min-heap (front = nearest candidate), with `less` a
+// max-heap (front = farthest kept result).
+bool FartherFirst(const SearchHit& a, const SearchHit& b) {
+  return a.distance > b.distance;
+}
+bool NearerFirst(const SearchHit& a, const SearchHit& b) {
+  return a.distance < b.distance;
+}
+
+/// Per-thread pooled search scratch. The epoch-stamped visited array
+/// replaces the per-search std::set: marking a node is one store, checking
+/// one load, and "clearing" between searches is a single epoch increment.
+/// thread_local is safe here: concurrent readers (KB retrievals under the
+/// shared lock) run on distinct threads, each with its own scratch.
+struct SearchScratch {
+  std::vector<uint32_t> visited;  // visited[id] == epoch <=> seen this search
+  uint32_t epoch = 0;
+  std::vector<SearchHit> cand;    // min-heap storage
+  std::vector<SearchHit> result;  // max-heap storage
+  std::vector<float> query;       // float32-narrowed query
+
+  void BeginSearch(size_t num_nodes) {
+    if (visited.size() < num_nodes) visited.resize(num_nodes, 0);
+    if (++epoch == 0) {  // wraparound: stale stamps could alias epoch 0
+      std::fill(visited.begin(), visited.end(), 0u);
+      epoch = 1;
+    }
+    cand.clear();
+    result.clear();
+  }
+};
+
+SearchScratch& Scratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 HnswIndex::HnswIndex(int dim, Options options)
     : dim_(dim), options_(options), rng_(options.seed) {
@@ -34,62 +76,69 @@ int HnswIndex::RandomLevel() {
   return std::min(level, 16);
 }
 
-std::vector<SearchHit> HnswIndex::SearchLayer(const std::vector<double>& query,
-                                              std::vector<int> entries,
-                                              int layer, int ef) const {
-  // Classic best-first search with a bounded result heap.
-  auto cmp_near = [](const SearchHit& a, const SearchHit& b) {
-    return a.distance > b.distance;  // min-heap by distance
-  };
-  auto cmp_far = [](const SearchHit& a, const SearchHit& b) {
-    return a.distance < b.distance;  // max-heap by distance
-  };
-  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(cmp_near)>
-      candidates(cmp_near);
-  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(cmp_far)>
-      results(cmp_far);
-  std::set<int> visited;
+void HnswIndex::SearchLayer(const float* query,
+                            const std::vector<int>& entries, int layer,
+                            int ef, std::vector<SearchHit>* out) const {
+  // Classic best-first search with a bounded result heap, over pooled
+  // scratch: zero allocations once the thread's high-water mark is reached.
+  SearchScratch& s = Scratch();
+  s.BeginSearch(meta_.size());
+  s.result.reserve(static_cast<size_t>(ef) + 1);
   for (int e : entries) {
-    if (!visited.insert(e).second) continue;
-    double d = SquaredL2(query, nodes_[static_cast<size_t>(e)].vec);
-    candidates.push(SearchHit{e, d});
-    results.push(SearchHit{e, d});
+    if (s.visited[static_cast<size_t>(e)] == s.epoch) continue;
+    s.visited[static_cast<size_t>(e)] = s.epoch;
+    double d = kernels::SquaredL2(query, VecPtr(e), dim_);
+    s.cand.push_back(SearchHit{e, d});
+    std::push_heap(s.cand.begin(), s.cand.end(), FartherFirst);
+    s.result.push_back(SearchHit{e, d});
+    std::push_heap(s.result.begin(), s.result.end(), NearerFirst);
   }
-  while (!candidates.empty()) {
-    SearchHit c = candidates.top();
-    candidates.pop();
-    if (static_cast<int>(results.size()) >= ef &&
-        c.distance > results.top().distance) {
+  while (!s.cand.empty()) {
+    SearchHit c = s.cand.front();
+    std::pop_heap(s.cand.begin(), s.cand.end(), FartherFirst);
+    s.cand.pop_back();
+    if (static_cast<int>(s.result.size()) >= ef &&
+        c.distance > s.result.front().distance) {
       break;
     }
-    const Node& node = nodes_[static_cast<size_t>(c.id)];
+    const NodeMeta& node = meta_[static_cast<size_t>(c.id)];
     if (layer < static_cast<int>(node.neighbors.size())) {
-      for (int nb : node.neighbors[static_cast<size_t>(layer)]) {
-        if (!visited.insert(nb).second) continue;
-        double d = SquaredL2(query, nodes_[static_cast<size_t>(nb)].vec);
-        if (static_cast<int>(results.size()) < ef ||
-            d < results.top().distance) {
-          candidates.push(SearchHit{nb, d});
-          results.push(SearchHit{nb, d});
-          while (static_cast<int>(results.size()) > ef) results.pop();
+      const std::vector<int>& adj =
+          node.neighbors[static_cast<size_t>(layer)];
+      // Pull every neighbour's vector row toward the cache ahead of the
+      // distance loop; the slab layout makes each row one or two lines.
+      for (int nb : adj) {
+        __builtin_prefetch(VecPtr(nb), 0 /*read*/, 1 /*low temporal*/);
+      }
+      for (int nb : adj) {
+        if (s.visited[static_cast<size_t>(nb)] == s.epoch) continue;
+        s.visited[static_cast<size_t>(nb)] = s.epoch;
+        double d = kernels::SquaredL2(query, VecPtr(nb), dim_);
+        if (static_cast<int>(s.result.size()) < ef ||
+            d < s.result.front().distance) {
+          s.cand.push_back(SearchHit{nb, d});
+          std::push_heap(s.cand.begin(), s.cand.end(), FartherFirst);
+          s.result.push_back(SearchHit{nb, d});
+          std::push_heap(s.result.begin(), s.result.end(), NearerFirst);
+          while (static_cast<int>(s.result.size()) > ef) {
+            std::pop_heap(s.result.begin(), s.result.end(), NearerFirst);
+            s.result.pop_back();
+          }
         }
       }
     }
   }
-  std::vector<SearchHit> out;
-  out.reserve(results.size());
-  while (!results.empty()) {
-    out.push_back(results.top());
-    results.pop();
-  }
-  std::reverse(out.begin(), out.end());  // ascending distance
-  return out;
+  out->clear();
+  out->reserve(s.result.size());
+  // sort_heap with the max-heap comparator leaves ascending distance.
+  std::sort_heap(s.result.begin(), s.result.end(), NearerFirst);
+  out->assign(s.result.begin(), s.result.end());
 }
 
 std::vector<SearchHit> HnswIndex::SelectNeighbors(
-    const std::vector<double>& base, const std::vector<SearchHit>& candidates,
-    int m) const {
-  // A candidate is kept when it is closer to `base` than to every neighbour
+    const std::vector<SearchHit>& candidates, int m) const {
+  // A candidate is kept when it is closer to the base (its stored
+  // `distance`) than to every neighbour
   // already kept: edges then spread across directions instead of collapsing
   // into one mutual-nearest cluster. Skipped candidates back-fill remaining
   // slots (keepPrunedConnections) so low-degree graphs stay connected —
@@ -100,9 +149,9 @@ std::vector<SearchHit> HnswIndex::SelectNeighbors(
   for (const SearchHit& c : candidates) {
     if (static_cast<int>(selected.size()) >= m) break;
     bool diverse = true;
-    const std::vector<double>& cv = nodes_[static_cast<size_t>(c.id)].vec;
+    const float* cv = VecPtr(c.id);
     for (const SearchHit& s : selected) {
-      if (SquaredL2(cv, nodes_[static_cast<size_t>(s.id)].vec) < c.distance) {
+      if (kernels::SquaredL2(cv, VecPtr(s.id), dim_) < c.distance) {
         diverse = false;
         break;
       }
@@ -124,32 +173,34 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
   if (static_cast<int>(vec.size()) != dim_) {
     return Status::InvalidArgument("vector dimension mismatch");
   }
-  int id = static_cast<int>(nodes_.size());
-  Node node;
-  node.vec = std::move(vec);
+  int id = static_cast<int>(meta_.size());
+  slab_.reserve(slab_.size() + vec.size());
+  for (double v : vec) slab_.push_back(static_cast<float>(v));
+  NodeMeta node;
   node.level = RandomLevel();
   node.neighbors.resize(static_cast<size_t>(node.level) + 1);
-  nodes_.push_back(std::move(node));
+  meta_.push_back(std::move(node));
 
   if (entry_point_ < 0) {
     entry_point_ = id;
-    max_level_ = nodes_[static_cast<size_t>(id)].level;
+    max_level_ = meta_[static_cast<size_t>(id)].level;
     return id;
   }
 
-  const std::vector<double>& q = nodes_[static_cast<size_t>(id)].vec;
+  const float* q = VecPtr(id);
   std::vector<int> entries = {entry_point_};
+  std::vector<SearchHit> found;
   // Greedy descent through layers above the new node's level.
-  for (int layer = max_level_; layer > nodes_[static_cast<size_t>(id)].level;
-       --layer) {
-    std::vector<SearchHit> nearest = SearchLayer(q, entries, layer, 1);
-    if (!nearest.empty()) entries = {nearest[0].id};
+  for (int layer = max_level_;
+       layer > meta_[static_cast<size_t>(id)].level; --layer) {
+    SearchLayer(q, entries, layer, 1, &found);
+    if (!found.empty()) entries = {found[0].id};
   }
   // Connect at each layer from min(max_level, node.level) down to 0.
-  for (int layer = std::min(max_level_, nodes_[static_cast<size_t>(id)].level);
+  for (int layer =
+           std::min(max_level_, meta_[static_cast<size_t>(id)].level);
        layer >= 0; --layer) {
-    std::vector<SearchHit> found =
-        SearchLayer(q, entries, layer, options_.ef_construction);
+    SearchLayer(q, entries, layer, options_.ef_construction, &found);
     // Standard HNSW degree bounds: M on the upper layers, 2*M on the base
     // layer (Malkov & Yashunin's M_max0). The doubled base-layer bound and
     // the diversity heuristic in SelectNeighbors are what keep the layer-0
@@ -157,38 +208,39 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
     // graph into mutual-nearest cliques that searches entering elsewhere
     // can never reach.
     int m = layer == 0 ? 2 * options_.max_neighbors : options_.max_neighbors;
-    std::vector<SearchHit> neighbors = SelectNeighbors(q, found, m);
+    std::vector<SearchHit> neighbors = SelectNeighbors(found, m);
     entries.clear();
     for (const SearchHit& h : neighbors) {
       entries.push_back(h.id);
-      nodes_[static_cast<size_t>(id)].neighbors[static_cast<size_t>(layer)]
+      meta_[static_cast<size_t>(id)].neighbors[static_cast<size_t>(layer)]
           .push_back(h.id);
-      Node& other = nodes_[static_cast<size_t>(h.id)];
+      NodeMeta& other = meta_[static_cast<size_t>(h.id)];
       if (layer < static_cast<int>(other.neighbors.size())) {
         auto& adj = other.neighbors[static_cast<size_t>(layer)];
         adj.push_back(id);
         if (static_cast<int>(adj.size()) > m) {
           // Re-select `other`'s adjacency with the same diversity heuristic
           // (distances re-measured from `other`).
+          const float* ov = VecPtr(h.id);
           std::vector<SearchHit> cand;
           cand.reserve(adj.size());
           for (int a : adj) {
-            cand.push_back(SearchHit{
-                a, SquaredL2(other.vec, nodes_[static_cast<size_t>(a)].vec)});
+            cand.push_back(
+                SearchHit{a, kernels::SquaredL2(ov, VecPtr(a), dim_)});
           }
           std::sort(cand.begin(), cand.end(),
                     [](const SearchHit& a, const SearchHit& b) {
                       return a.distance < b.distance;
                     });
-          std::vector<SearchHit> kept = SelectNeighbors(other.vec, cand, m);
+          std::vector<SearchHit> kept = SelectNeighbors(cand, m);
           adj.clear();
           for (const SearchHit& s : kept) adj.push_back(s.id);
         }
       }
     }
   }
-  if (nodes_[static_cast<size_t>(id)].level > max_level_) {
-    max_level_ = nodes_[static_cast<size_t>(id)].level;
+  if (meta_[static_cast<size_t>(id)].level > max_level_) {
+    max_level_ = meta_[static_cast<size_t>(id)].level;
     entry_point_ = id;
   }
   return id;
@@ -196,22 +248,30 @@ Result<int> HnswIndex::Add(std::vector<double> vec) {
 
 std::vector<SearchHit> HnswIndex::Search(const std::vector<double>& query,
                                          int k) const {
-  // Mirror Add()'s dimension validation: SquaredL2 iterates over the query's
-  // length, so a longer query would read past the end of every stored
-  // vector. A non-positive k used to reach hits.resize(k) and wrap to a
-  // huge size_t.
+  // Mirror Add()'s dimension validation: the distance kernel iterates over
+  // the query's length, so a longer query would read past the end of every
+  // stored vector. A non-positive k used to reach hits.resize(k) and wrap
+  // to a huge size_t.
   if (static_cast<int>(query.size()) != dim_) return {};
   if (k <= 0) return {};
   if (entry_point_ < 0) return {};
+  // Narrow the query once into pooled scratch.
+  SearchScratch& s = Scratch();
+  s.query.resize(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    s.query[i] = static_cast<float>(query[i]);
+  }
+  const float* q = s.query.data();
   std::vector<int> entries = {entry_point_};
+  std::vector<SearchHit> hits;
   for (int layer = max_level_; layer > 0; --layer) {
-    std::vector<SearchHit> nearest = SearchLayer(query, entries, layer, 1);
-    if (!nearest.empty()) entries = {nearest[0].id};
+    SearchLayer(q, entries, layer, 1, &hits);
+    if (!hits.empty()) entries = {hits[0].id};
   }
   // ef must cover k even when the configured ef_search is smaller (or was
   // set to a nonsense value like 0).
   int ef = std::max({options_.ef_search, k, 1});
-  std::vector<SearchHit> hits = SearchLayer(query, entries, 0, ef);
+  SearchLayer(q, entries, 0, ef, &hits);
   if (static_cast<int>(hits.size()) > k) hits.resize(static_cast<size_t>(k));
   return hits;
 }

@@ -13,6 +13,14 @@ namespace htapex {
 /// (Malkov & Yashunin, the paper's [10]), built from scratch. Used to show
 /// that knowledge-base search stays sub-dominant as the KB grows
 /// (Section VI-B): exact search is linear, HNSW is ~logarithmic.
+///
+/// Storage is struct-of-arrays: all vectors live in one contiguous float32
+/// slab (id-ordered rows, distance via the SIMD `kernels::SquaredL2`),
+/// graph structure in a parallel metadata array. Searches use per-thread
+/// pooled scratch — an epoch-stamped visited array instead of a std::set
+/// and reusable heap backing vectors — so the steady-state search path
+/// performs no allocations and no node-chasing pointer indirection;
+/// neighbour rows are prefetched a hop ahead of the distance computations.
 class HnswIndex {
  public:
   struct Options {
@@ -26,7 +34,7 @@ class HnswIndex {
   HnswIndex(int dim, Options options);
 
   int dim() const { return dim_; }
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return meta_.size(); }
 
   /// Inserts a vector; returns its id (dense, insertion order).
   Result<int> Add(std::vector<double> vec);
@@ -36,30 +44,35 @@ class HnswIndex {
   std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
 
  private:
-  struct Node {
-    std::vector<double> vec;
+  struct NodeMeta {
     int level = 0;
     // neighbors[l] = adjacency at layer l (0..level).
     std::vector<std::vector<int>> neighbors;
   };
 
+  const float* VecPtr(int id) const {
+    return slab_.data() + static_cast<size_t>(id) * dim_;
+  }
+
   int RandomLevel();
-  /// Greedy ef-search at one layer from the given entry points.
-  std::vector<SearchHit> SearchLayer(const std::vector<double>& query,
-                                     std::vector<int> entries, int layer,
-                                     int ef) const;
-  /// Malkov & Yashunin's Algorithm 4: pick up to m neighbours for `base`
-  /// from `candidates` (ascending by distance), preferring candidates that
-  /// are closer to `base` than to any already-selected neighbour, then
-  /// back-filling with the skipped ones (keepPrunedConnections).
-  std::vector<SearchHit> SelectNeighbors(const std::vector<double>& base,
-                                         const std::vector<SearchHit>& candidates,
-                                         int m) const;
+  /// Greedy ef-search at one layer from the given entry points. Results go
+  /// into `*out` (cleared first), ascending by distance. Scratch (visited
+  /// stamps, heap storage) is pooled per thread.
+  void SearchLayer(const float* query, const std::vector<int>& entries,
+                   int layer, int ef, std::vector<SearchHit>* out) const;
+  /// Malkov & Yashunin's Algorithm 4: pick up to m neighbours from
+  /// `candidates` (ascending by distance-to-base, which each hit already
+  /// carries), preferring candidates that are closer to the base than to
+  /// any already-selected neighbour, then back-filling with the skipped
+  /// ones (keepPrunedConnections).
+  std::vector<SearchHit> SelectNeighbors(
+      const std::vector<SearchHit>& candidates, int m) const;
 
   int dim_;
   Options options_;
   Rng rng_;
-  std::vector<Node> nodes_;
+  std::vector<float> slab_;  // size() * dim_, row-major by id
+  std::vector<NodeMeta> meta_;
   int entry_point_ = -1;
   int max_level_ = -1;
 };

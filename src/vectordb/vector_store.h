@@ -14,12 +14,20 @@ struct SearchHit {
   double distance = 0.0;  // squared L2
 };
 
-/// Squared L2 distance between equal-length vectors.
+/// Squared L2 distance between equal-length vectors. Double-precision
+/// scalar — this is the reference the float32 kernel paths are
+/// parity-checked against, so it stays exactly as-is.
 double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
 
 /// Exact brute-force kNN store. The paper's knowledge base holds only ~20
 /// vectors, where exact search is measured in microseconds; the HNSW index
 /// (hnsw.h) covers the growth scenario discussed in Section VI-B.
+///
+/// Vectors live in one contiguous float32 slab (id-ordered rows) so the
+/// scan is a straight run of `kernels::SquaredL2` over sequential memory —
+/// no per-vector indirection, SIMD-friendly. Inputs stay double at the API
+/// (the rest of the system computes embeddings in double); they are
+/// narrowed once on Add.
 class VectorStore {
  public:
   explicit VectorStore(int dim) : dim_(dim) {}
@@ -37,12 +45,13 @@ class VectorStore {
   /// for a wrong-dimension query or non-positive k.
   std::vector<SearchHit> Search(const std::vector<double>& query, int k) const;
 
-  const std::vector<double>* Get(int id) const;
+  /// The stored float32 row for a live id, nullptr otherwise.
+  const float* Get(int id) const;
 
  private:
   int dim_;
   size_t size_ = 0;  // live (non-removed) count
-  std::vector<std::vector<double>> vectors_;
+  std::vector<float> slab_;  // count * dim_, row-major by id
   std::vector<uint8_t> removed_;
 };
 

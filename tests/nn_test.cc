@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/rng.h"
+#include "nn/frozen_tree_cnn.h"
 #include "nn/tree_cnn.h"
 
 namespace htapex {
@@ -133,7 +137,137 @@ TEST(TreeCnnPropertyTest, ParameterCountMatchesConfig) {
                     + 14u * 4 + 4       // dense embed
                     + 8u * 2 + 2;       // output (2E -> 2)
   EXPECT_EQ(cnn.NumParameters(), expected);
-  EXPECT_EQ(cnn.ByteSize(), expected * sizeof(float));
+  EXPECT_EQ(cnn.ByteSize(), expected * sizeof(double));
+  EXPECT_EQ(cnn.FrozenByteSize(), expected * sizeof(float));
+  // The serving snapshot must stay comfortably cache-resident.
+  EXPECT_LT(cnn.FrozenByteSize(), 1u << 20);
+}
+
+TEST(FrozenTreeCnnTest, MatchesMasterAfterTraining) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  Rng rng(7);
+  std::vector<PairExample> data;
+  for (int i = 0; i < 8; ++i) data.push_back(RandomExample(&rng, 6, i % 2));
+  std::vector<const PairExample*> batch;
+  for (const auto& ex : data) batch.push_back(&ex);
+  for (int step = 0; step < 50; ++step) cnn.TrainBatch(batch, 5e-3);
+
+  FrozenTreeCnn frozen(cnn);
+  EXPECT_EQ(frozen.pair_embedding_dim(), cnn.pair_embedding_dim());
+  for (const auto& ex : data) {
+    std::vector<double> zm, zf;
+    double pm = cnn.PredictApFaster(ex.tp, ex.ap, &zm);
+    double pf = frozen.PredictApFaster(ex.tp, ex.ap, &zf);
+    // float32 inference tracks the double master closely...
+    EXPECT_NEAR(pm, pf, 1e-4);
+    ASSERT_EQ(zm.size(), zf.size());
+    for (size_t i = 0; i < zm.size(); ++i) EXPECT_NEAR(zm[i], zf[i], 1e-4);
+    // ...and never flips the routing verdict.
+    EXPECT_EQ(pm >= 0.5, pf >= 0.5);
+  }
+}
+
+TEST(FrozenTreeCnnTest, BatchMatchesSingle) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  FrozenTreeCnn frozen(cnn);
+  Rng rng(8);
+  std::vector<PairExample> data;
+  for (int i = 0; i < 5; ++i) data.push_back(RandomExample(&rng, 6, 0));
+  std::vector<const PlanTreeFeatures*> tps, aps;
+  for (const auto& ex : data) {
+    tps.push_back(&ex.tp);
+    aps.push_back(&ex.ap);
+  }
+  std::vector<double> p_batch;
+  std::vector<std::vector<double>> z_batch;
+  frozen.PredictBatch(tps, aps, &p_batch, &z_batch);
+  ASSERT_EQ(p_batch.size(), data.size());
+  ASSERT_EQ(z_batch.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> z;
+    double p = frozen.PredictApFaster(data[i].tp, data[i].ap, &z);
+    EXPECT_DOUBLE_EQ(p_batch[i], p);
+    ASSERT_EQ(z_batch[i].size(), z.size());
+    for (size_t j = 0; j < z.size(); ++j) EXPECT_DOUBLE_EQ(z_batch[i][j], z[j]);
+  }
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(TreeCnnPersistenceTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "tree_cnn_roundtrip.bin";
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn a(config);
+  Rng rng(9);
+  PairExample ex = RandomExample(&rng, 6, 1);
+  for (int step = 0; step < 20; ++step) a.TrainBatch({&ex}, 1e-2);
+  ASSERT_TRUE(a.Save(path).ok());
+
+  TreeCnn::Config other = config;
+  other.seed = 99;
+  TreeCnn b(other);
+  ASSERT_TRUE(b.Load(path).ok());
+  EXPECT_DOUBLE_EQ(a.PredictApFaster(ex.tp, ex.ap),
+                   b.PredictApFaster(ex.tp, ex.ap));
+  std::remove(path.c_str());
+}
+
+TEST(TreeCnnPersistenceTest, LoadRejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "tree_cnn_truncated.bin";
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  ASSERT_TRUE(cnn.Save(path).ok());
+  std::string bytes = ReadFileOrDie(path);
+  ASSERT_GT(bytes.size(), 8u);
+  WriteFileOrDie(path, bytes.substr(0, bytes.size() - 3));
+  EXPECT_FALSE(cnn.Load(path).ok());
+  // A failed load must not clobber the in-memory weights.
+  Rng rng(10);
+  PairExample ex = RandomExample(&rng, 6, 0);
+  EXPECT_TRUE(std::isfinite(cnn.PredictApFaster(ex.tp, ex.ap)));
+  std::remove(path.c_str());
+}
+
+TEST(TreeCnnPersistenceTest, LoadRejectsCorruptedByte) {
+  const std::string path = ::testing::TempDir() + "tree_cnn_corrupt.bin";
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  ASSERT_TRUE(cnn.Save(path).ok());
+  std::string bytes = ReadFileOrDie(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-tensor
+  WriteFileOrDie(path, bytes);
+  EXPECT_FALSE(cnn.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeCnnPersistenceTest, SaveLeavesNoTempFileBehind) {
+  const std::string path = ::testing::TempDir() + "tree_cnn_tmpcheck.bin";
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  ASSERT_TRUE(cnn.Save(path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
 }
 
 TEST(TreeCnnPropertyTest, SingleNodeTreesWork) {
