@@ -81,6 +81,68 @@ void MaxAccumScalar(float* acc, const float* x, int n) {
   }
 }
 
+template <typename T>
+void MaskCmpScalarT(const T* a, T lit, MaskCmpOp op, uint8_t* out, int n) {
+  switch (op) {
+    case MaskCmpOp::kEq:
+      for (int i = 0; i < n; ++i) out[i] = a[i] == lit ? 1 : 0;
+      break;
+    case MaskCmpOp::kNe:
+      for (int i = 0; i < n; ++i) out[i] = a[i] != lit ? 1 : 0;
+      break;
+    case MaskCmpOp::kLt:
+      for (int i = 0; i < n; ++i) out[i] = a[i] < lit ? 1 : 0;
+      break;
+    case MaskCmpOp::kLe:
+      for (int i = 0; i < n; ++i) out[i] = a[i] <= lit ? 1 : 0;
+      break;
+    case MaskCmpOp::kGt:
+      for (int i = 0; i < n; ++i) out[i] = a[i] > lit ? 1 : 0;
+      break;
+    case MaskCmpOp::kGe:
+      for (int i = 0; i < n; ++i) out[i] = a[i] >= lit ? 1 : 0;
+      break;
+  }
+}
+
+void MaskCmpI64Scalar(const int64_t* a, int64_t lit, MaskCmpOp op,
+                      uint8_t* out, int n) {
+  MaskCmpScalarT(a, lit, op, out, n);
+}
+
+void MaskCmpF64Scalar(const double* a, double lit, MaskCmpOp op, uint8_t* out,
+                      int n) {
+  MaskCmpScalarT(a, lit, op, out, n);
+}
+
+void MaskAndScalar(uint8_t* mask, const uint8_t* other, int n) {
+  for (int i = 0; i < n; ++i) mask[i] &= other[i];
+}
+
+void MaskAndNotScalar(uint8_t* mask, const uint8_t* other, int n) {
+  for (int i = 0; i < n; ++i) {
+    mask[i] = static_cast<uint8_t>(mask[i] & (other[i] ^ 1));
+  }
+}
+
+int64_t CountMaskScalar(const uint8_t* mask, int n) {
+  int64_t count = 0;
+  for (int i = 0; i < n; ++i) count += mask[i];
+  return count;
+}
+
+double SumF64Scalar(const double* a, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+int64_t SumI64Scalar(const int64_t* a, int n) {
+  int64_t acc = 0;
+  for (int i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 + FMA backend. Compiled with per-function target attributes so no
 // special flags are needed for the rest of the library; only ever called
@@ -311,10 +373,173 @@ __attribute__((target("avx2,fma"))) void MaxAccumAvx2(float* acc,
   }
 }
 
+__attribute__((target("avx2"))) void MaskCmpI64Avx2(const int64_t* a,
+                                                    int64_t lit, MaskCmpOp op,
+                                                    uint8_t* out, int n) {
+  const __m256i litv = _mm256_set1_epi64x(lit);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i m;
+    switch (op) {
+      case MaskCmpOp::kEq:
+        m = _mm256_cmpeq_epi64(v, litv);
+        break;
+      case MaskCmpOp::kNe:
+        m = _mm256_xor_si256(_mm256_cmpeq_epi64(v, litv), ones);
+        break;
+      case MaskCmpOp::kLt:
+        m = _mm256_cmpgt_epi64(litv, v);
+        break;
+      case MaskCmpOp::kLe:
+        m = _mm256_xor_si256(_mm256_cmpgt_epi64(v, litv), ones);
+        break;
+      case MaskCmpOp::kGt:
+        m = _mm256_cmpgt_epi64(v, litv);
+        break;
+      case MaskCmpOp::kGe:
+        m = _mm256_xor_si256(_mm256_cmpgt_epi64(litv, v), ones);
+        break;
+    }
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(m));
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+    out[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);
+    out[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);
+  }
+  MaskCmpI64Scalar(a + i, lit, op, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void MaskCmpF64Avx2(const double* a,
+                                                    double lit, MaskCmpOp op,
+                                                    uint8_t* out, int n) {
+  const __m256d litv = _mm256_set1_pd(lit);
+  int i = 0;
+// One loop per predicate immediate (the imm8 must be a compile-time
+// constant). _OQ / NEQ_UQ match C++ scalar comparison semantics.
+#define HTAPEX_MASKCMP_LOOP(IMM)                                       \
+  for (; i + 4 <= n; i += 4) {                                         \
+    int bits = _mm256_movemask_pd(                                     \
+        _mm256_cmp_pd(_mm256_loadu_pd(a + i), litv, IMM));             \
+    out[i] = static_cast<uint8_t>(bits & 1);                           \
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);                \
+    out[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);                \
+    out[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);                \
+  }
+  switch (op) {
+    case MaskCmpOp::kEq:
+      HTAPEX_MASKCMP_LOOP(_CMP_EQ_OQ);
+      break;
+    case MaskCmpOp::kNe:
+      HTAPEX_MASKCMP_LOOP(_CMP_NEQ_UQ);
+      break;
+    case MaskCmpOp::kLt:
+      HTAPEX_MASKCMP_LOOP(_CMP_LT_OQ);
+      break;
+    case MaskCmpOp::kLe:
+      HTAPEX_MASKCMP_LOOP(_CMP_LE_OQ);
+      break;
+    case MaskCmpOp::kGt:
+      HTAPEX_MASKCMP_LOOP(_CMP_GT_OQ);
+      break;
+    case MaskCmpOp::kGe:
+      HTAPEX_MASKCMP_LOOP(_CMP_GE_OQ);
+      break;
+  }
+#undef HTAPEX_MASKCMP_LOOP
+  MaskCmpF64Scalar(a + i, lit, op, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void MaskAndAvx2(uint8_t* mask,
+                                                 const uint8_t* other,
+                                                 int n) {
+  int i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i m = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(other + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i),
+                        _mm256_and_si256(m, o));
+  }
+  for (; i < n; ++i) mask[i] &= other[i];
+}
+
+__attribute__((target("avx2"))) void MaskAndNotAvx2(uint8_t* mask,
+                                                    const uint8_t* other,
+                                                    int n) {
+  int i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i m = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(other + i));
+    // ~other & mask; correct because mask bytes are 0/1.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i),
+                        _mm256_andnot_si256(o, m));
+  }
+  MaskAndNotScalar(mask + i, other + i, n - i);
+}
+
+__attribute__((target("avx2"))) int64_t CountMaskAvx2(const uint8_t* mask,
+                                                      int n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    // Sum-of-absolute-differences against zero: four u64 byte sums.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(v, zero));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) count += mask[i];
+  return count;
+}
+
+__attribute__((target("avx2"))) double SumF64Avx2(const double* a, int n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(a + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(a + i + 4));
+  }
+  acc0 = _mm256_add_pd(acc0, acc1);
+  __m128d lo = _mm256_castpd256_pd128(acc0);
+  __m128d hi = _mm256_extractf128_pd(acc0, 1);
+  __m128d sum2 = _mm_add_pd(lo, hi);
+  double acc = _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+  for (; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) int64_t SumI64Avx2(const int64_t* a, int n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    acc1 = _mm256_add_epi64(
+        acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)));
+  }
+  acc0 = _mm256_add_epi64(acc0, acc1);
+  alignas(32) int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc0);
+  int64_t acc = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) acc += a[i];
+  return acc;
+}
+
 #endif  // HTAPEX_KERNELS_X86
 
 // ---------------------------------------------------------------------------
 // NEON backend (aarch64; NEON is baseline there, no runtime check needed).
+// The batch-executor primitives are integer-exact (or plain IEEE compares),
+// so the NEON table entries reuse the scalar implementations until a NEON
+// port is worth its maintenance cost.
 // ---------------------------------------------------------------------------
 
 #if HTAPEX_KERNELS_NEON
@@ -468,6 +693,15 @@ struct DispatchTable {
   void (*relu)(float*, int) = ReluScalar;
   float (*reduce_max)(const float*, int) = ReduceMaxScalar;
   void (*max_accum)(float*, const float*, int) = MaxAccumScalar;
+  void (*mask_cmp_i64)(const int64_t*, int64_t, MaskCmpOp, uint8_t*, int) =
+      MaskCmpI64Scalar;
+  void (*mask_cmp_f64)(const double*, double, MaskCmpOp, uint8_t*, int) =
+      MaskCmpF64Scalar;
+  void (*mask_and)(uint8_t*, const uint8_t*, int) = MaskAndScalar;
+  void (*mask_andnot)(uint8_t*, const uint8_t*, int) = MaskAndNotScalar;
+  int64_t (*count_mask)(const uint8_t*, int) = CountMaskScalar;
+  double (*sum_f64)(const double*, int) = SumF64Scalar;
+  int64_t (*sum_i64)(const int64_t*, int) = SumI64Scalar;
 };
 
 struct KernelCounters {
@@ -478,6 +712,12 @@ struct KernelCounters {
   std::atomic<uint64_t> relu{0};
   std::atomic<uint64_t> reduce_max{0};
   std::atomic<uint64_t> max_accum{0};
+  std::atomic<uint64_t> mask_cmp{0};
+  std::atomic<uint64_t> mask_and{0};
+  std::atomic<uint64_t> mask_andnot{0};
+  std::atomic<uint64_t> count_mask{0};
+  std::atomic<uint64_t> sum_f64{0};
+  std::atomic<uint64_t> sum_i64{0};
 };
 
 KernelCounters& Counters() {
@@ -500,6 +740,13 @@ DispatchTable MakeTable(Backend backend) {
       t.relu = ReluAvx2;
       t.reduce_max = ReduceMaxAvx2;
       t.max_accum = MaxAccumAvx2;
+      t.mask_cmp_i64 = MaskCmpI64Avx2;
+      t.mask_cmp_f64 = MaskCmpF64Avx2;
+      t.mask_and = MaskAndAvx2;
+      t.mask_andnot = MaskAndNotAvx2;
+      t.count_mask = CountMaskAvx2;
+      t.sum_f64 = SumF64Avx2;
+      t.sum_i64 = SumI64Avx2;
       break;
 #endif
 #if HTAPEX_KERNELS_NEON
@@ -639,6 +886,43 @@ void MaxAccum(float* acc, const float* x, int n) {
   Table().max_accum(acc, x, n);
 }
 
+void MaskCmpI64(const int64_t* a, int64_t lit, MaskCmpOp op, uint8_t* out,
+                int n) {
+  Counters().mask_cmp.fetch_add(1, std::memory_order_relaxed);
+  Table().mask_cmp_i64(a, lit, op, out, n);
+}
+
+void MaskCmpF64(const double* a, double lit, MaskCmpOp op, uint8_t* out,
+                int n) {
+  Counters().mask_cmp.fetch_add(1, std::memory_order_relaxed);
+  Table().mask_cmp_f64(a, lit, op, out, n);
+}
+
+void MaskAnd(uint8_t* mask, const uint8_t* other, int n) {
+  Counters().mask_and.fetch_add(1, std::memory_order_relaxed);
+  Table().mask_and(mask, other, n);
+}
+
+void MaskAndNot(uint8_t* mask, const uint8_t* other, int n) {
+  Counters().mask_andnot.fetch_add(1, std::memory_order_relaxed);
+  Table().mask_andnot(mask, other, n);
+}
+
+int64_t CountMask(const uint8_t* mask, int n) {
+  Counters().count_mask.fetch_add(1, std::memory_order_relaxed);
+  return Table().count_mask(mask, n);
+}
+
+double SumF64(const double* a, int n) {
+  Counters().sum_f64.fetch_add(1, std::memory_order_relaxed);
+  return Table().sum_f64(a, n);
+}
+
+int64_t SumI64(const int64_t* a, int n) {
+  Counters().sum_i64.fetch_add(1, std::memory_order_relaxed);
+  return Table().sum_i64(a, n);
+}
+
 KernelStats Stats() {
   const KernelCounters& c = Counters();
   KernelStats s;
@@ -650,6 +934,12 @@ KernelStats Stats() {
   s.relu = c.relu.load(std::memory_order_relaxed);
   s.reduce_max = c.reduce_max.load(std::memory_order_relaxed);
   s.max_accum = c.max_accum.load(std::memory_order_relaxed);
+  s.mask_cmp = c.mask_cmp.load(std::memory_order_relaxed);
+  s.mask_and = c.mask_and.load(std::memory_order_relaxed);
+  s.mask_andnot = c.mask_andnot.load(std::memory_order_relaxed);
+  s.count_mask = c.count_mask.load(std::memory_order_relaxed);
+  s.sum_f64 = c.sum_f64.load(std::memory_order_relaxed);
+  s.sum_i64 = c.sum_i64.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -704,6 +994,16 @@ float* Arena::AllocFloats(size_t n) {
 int* Arena::AllocInts(size_t n) {
   return static_cast<int*>(AllocBytes(n * sizeof(int)));
 }
+
+double* Arena::AllocDoubles(size_t n) {
+  return static_cast<double*>(AllocBytes(n * sizeof(double)));
+}
+
+int64_t* Arena::AllocInt64s(size_t n) {
+  return static_cast<int64_t*>(AllocBytes(n * sizeof(int64_t)));
+}
+
+uint8_t* Arena::AllocU8(size_t n) { return static_cast<uint8_t*>(AllocBytes(n)); }
 
 void Arena::Reset() {
   ++stats_.resets;

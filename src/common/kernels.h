@@ -72,6 +72,45 @@ float ReduceMax(const float* x, int n);
 /// the tree-CNN dynamic max pool (column-wise max over node rows).
 void MaxAccum(float* acc, const float* x, int n);
 
+// ---------------------------------------------------------------------------
+// Batch primitives for the vectorized query executor (vec_executor.*). All
+// masks are byte vectors whose elements are strictly 0 or 1 — one byte per
+// row of a column segment.
+// ---------------------------------------------------------------------------
+
+/// Comparison selector for the batch mask kernels. Matches the subset of
+/// SQL comparison operators with type-exact semantics on every backend.
+enum class MaskCmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// out[i] = (a[i] <op> lit) ? 1 : 0. Integer comparison is exact on every
+/// backend (no float round-trip), so scalar and SIMD agree bit-for-bit.
+void MaskCmpI64(const int64_t* a, int64_t lit, MaskCmpOp op, uint8_t* out,
+                int n);
+
+/// out[i] = (a[i] <op> lit) ? 1 : 0 over doubles, with IEEE comparison
+/// semantics (identical across backends; no reassociation is involved).
+void MaskCmpF64(const double* a, double lit, MaskCmpOp op, uint8_t* out,
+                int n);
+
+/// mask[i] &= other[i] (predicate conjunction).
+void MaskAnd(uint8_t* mask, const uint8_t* other, int n);
+
+/// mask[i] &= !other[i] — strips rows whose byte is set, e.g. clearing
+/// null rows out of a selection mask. Requires 0/1 bytes.
+void MaskAndNot(uint8_t* mask, const uint8_t* other, int n);
+
+/// Number of set bytes in mask[0..n).
+int64_t CountMask(const uint8_t* mask, int n);
+
+/// Sum of a[0..n). The SIMD backends reassociate the additions, so the
+/// result can differ from scalar in the last ulps (same contract as the
+/// float32 kernels above); result comparison happens through the
+/// fingerprint's %.6g normalization.
+double SumF64(const double* a, int n);
+
+/// Sum of a[0..n); exact (two's-complement) on every backend.
+int64_t SumI64(const int64_t* a, int n);
+
 /// Per-kernel invocation counters (relaxed atomics, process-wide), exported
 /// into the Prometheus exposition next to the dispatch gauge so an operator
 /// can see both which backend is live and how hot each kernel runs.
@@ -84,6 +123,12 @@ struct KernelStats {
   uint64_t relu = 0;
   uint64_t reduce_max = 0;
   uint64_t max_accum = 0;
+  uint64_t mask_cmp = 0;
+  uint64_t mask_and = 0;
+  uint64_t mask_andnot = 0;
+  uint64_t count_mask = 0;
+  uint64_t sum_f64 = 0;
+  uint64_t sum_i64 = 0;
 };
 KernelStats Stats();
 
@@ -114,6 +159,10 @@ class Arena {
   float* AllocFloats(size_t n);
   /// Same buffer pool, int-typed view (gather index lists).
   int* AllocInts(size_t n);
+  /// Typed views used by the vectorized executor's per-morsel scratch.
+  double* AllocDoubles(size_t n);
+  int64_t* AllocInt64s(size_t n);
+  uint8_t* AllocU8(size_t n);
 
   /// Makes all previously allocated memory reusable (no free).
   void Reset();

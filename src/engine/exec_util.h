@@ -1,0 +1,51 @@
+#ifndef HTAPEX_ENGINE_EXEC_UTIL_H_
+#define HTAPEX_ENGINE_EXEC_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "sql/expr.h"
+
+namespace htapex {
+
+/// Helpers shared by the row-at-a-time and vectorized executors. Keeping
+/// them in one place is what makes the cross-executor parity guarantees
+/// (identical residual-predicate and slot-merge semantics) structural
+/// rather than accidental.
+
+/// Applies every predicate on `node` to `row`, in listed order with
+/// short-circuit; all must pass.
+inline Result<bool> PassesPredicates(const PlanNode& node, const Row& row) {
+  for (const auto& p : node.predicates) {
+    Result<bool> pass = EvalPredicate(*p, row);
+    if (!pass.ok()) return pass;
+    if (!*pass) return false;
+  }
+  return true;
+}
+
+/// Collects the slot ranges filled by the subtree rooted at `node` (used to
+/// merge join sides).
+inline void CollectScanRanges(const PlanNode& node,
+                              std::vector<std::pair<int, int>>* ranges) {
+  if (node.slot_offset >= 0) {
+    ranges->emplace_back(node.slot_offset, node.slot_count);
+  }
+  for (const auto& c : node.children) CollectScanRanges(*c, ranges);
+}
+
+/// Copies the collected slot ranges from `src` into `dst`.
+inline void MergeSlots(const std::vector<std::pair<int, int>>& ranges,
+                       const Row& src, Row* dst) {
+  for (const auto& [off, count] : ranges) {
+    for (int i = 0; i < count; ++i) {
+      (*dst)[static_cast<size_t>(off + i)] = src[static_cast<size_t>(off + i)];
+    }
+  }
+}
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ENGINE_EXEC_UTIL_H_

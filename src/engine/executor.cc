@@ -2,168 +2,28 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "engine/agg_state.h"
+#include "engine/exec_util.h"
 #include "storage/btree.h"
 
 namespace htapex {
 
 namespace {
 
-/// Applies every predicate on `node` to `row`; all must pass.
-Result<bool> PassesPredicates(const PlanNode& node, const Row& row) {
-  for (const auto& p : node.predicates) {
-    Result<bool> pass = EvalPredicate(*p, row);
-    if (!pass.ok()) return pass;
-    if (!*pass) return false;
-  }
-  return true;
-}
-
 /// Lexicographic comparison of rows under sort keys; returns true when a
 /// precedes b.
 struct SortKeyLess {
   const std::vector<SortKey>* keys;
-  Result<bool>* error_sink;
 
   bool operator()(const std::pair<Row, Row>& a,
                   const std::pair<Row, Row>& b) const {
     // first = key values, second = payload row
-    for (size_t i = 0; i < keys->size(); ++i) {
-      int c = a.first[i].Compare(b.first[i]);
-      if (c != 0) return (*keys)[i].descending ? c > 0 : c < 0;
-    }
-    return false;
+    return CompareSortKeyRows(*keys, a.first, b.first) < 0;
   }
 };
-
-/// Aggregate accumulator for one group.
-struct AggState {
-  int64_t count = 0;        // rows (for COUNT(*)) or non-null args
-  double sum = 0.0;
-  bool sum_is_int = true;
-  int64_t isum = 0;
-  Value min, max;
-  bool any = false;
-  // DISTINCT aggregates track the values already seen.
-  struct ValueLess {
-    bool operator()(const Value& a, const Value& b) const {
-      return a.Compare(b) < 0;
-    }
-  };
-  std::set<Value, ValueLess> seen;
-};
-
-Value FinalizeAgg(const Expr& agg, const AggState& s) {
-  switch (agg.agg_kind) {
-    case AggKind::kCount:
-      return Value::Int(s.count);
-    case AggKind::kSum:
-      if (!s.any) return Value::Null();
-      return s.sum_is_int ? Value::Int(s.isum) : Value::Double(s.sum);
-    case AggKind::kAvg:
-      if (s.count == 0) return Value::Null();
-      return Value::Double((s.sum_is_int ? static_cast<double>(s.isum) : s.sum) /
-                           static_cast<double>(s.count));
-    case AggKind::kMin:
-      return s.any ? s.min : Value::Null();
-    case AggKind::kMax:
-      return s.any ? s.max : Value::Null();
-  }
-  return Value::Null();
-}
-
-Status AccumulateAgg(const Expr& agg, const Row& row, AggState* s) {
-  if (agg.count_star) {
-    ++s->count;
-    return Status::OK();
-  }
-  Result<Value> v = EvalExpr(*agg.children[0], row);
-  if (!v.ok()) return v.status();
-  if (v->is_null()) return Status::OK();
-  if (agg.distinct && !s->seen.insert(*v).second) {
-    return Status::OK();  // duplicate under DISTINCT: ignore
-  }
-  ++s->count;
-  if (agg.agg_kind == AggKind::kSum || agg.agg_kind == AggKind::kAvg) {
-    if (v->is_int() && s->sum_is_int) {
-      s->isum += v->AsInt();
-    } else {
-      if (s->sum_is_int) {
-        s->sum = static_cast<double>(s->isum);
-        s->sum_is_int = false;
-      }
-      s->sum += v->AsDouble();
-    }
-  }
-  if (!s->any) {
-    s->min = *v;
-    s->max = *v;
-    s->any = true;
-  } else {
-    if (v->Compare(s->min) < 0) s->min = *v;
-    if (v->Compare(s->max) > 0) s->max = *v;
-  }
-  return Status::OK();
-}
-
-/// Zone-map check: can segment `seg` of `col` contain rows satisfying the
-/// sargable predicate `p` (a comparison/IN/BETWEEN over literals)?
-bool SegmentMayMatch(const ColumnVector& col, size_t seg, const Expr& p) {
-  Value zmin, zmax;
-  if (!col.ZoneRange(seg, &zmin, &zmax)) return false;  // all-null segment
-  switch (p.kind) {
-    case ExprKind::kComparison: {
-      const Value& lit = p.children[1]->literal;
-      switch (p.cmp_op) {
-        case CompareOp::kEq:
-          return lit.Compare(zmin) >= 0 && lit.Compare(zmax) <= 0;
-        case CompareOp::kLt:
-          return zmin.Compare(lit) < 0;
-        case CompareOp::kLe:
-          return zmin.Compare(lit) <= 0;
-        case CompareOp::kGt:
-          return zmax.Compare(lit) > 0;
-        case CompareOp::kGe:
-          return zmax.Compare(lit) >= 0;
-        default:
-          return true;
-      }
-    }
-    case ExprKind::kIn: {
-      for (size_t i = 1; i < p.children.size(); ++i) {
-        const Value& lit = p.children[i]->literal;
-        if (lit.Compare(zmin) >= 0 && lit.Compare(zmax) <= 0) return true;
-      }
-      return false;
-    }
-    case ExprKind::kBetween: {
-      const Value& lo = p.children[1]->literal;
-      const Value& hi = p.children[2]->literal;
-      return !(zmax.Compare(lo) < 0 || zmin.Compare(hi) > 0);
-    }
-    default:
-      return true;
-  }
-}
-
-/// True when `p` has a zone-map-checkable shape over a bare column.
-bool IsZoneCheckable(const Expr& p) {
-  if (p.kind == ExprKind::kComparison) {
-    return p.children[0]->kind == ExprKind::kColumnRef &&
-           p.children[1]->kind == ExprKind::kLiteral;
-  }
-  if (p.kind == ExprKind::kIn || p.kind == ExprKind::kBetween) {
-    if (p.children[0]->kind != ExprKind::kColumnRef) return false;
-    for (size_t i = 1; i < p.children.size(); ++i) {
-      if (p.children[i]->kind != ExprKind::kLiteral) return false;
-    }
-    return true;
-  }
-  return false;
-}
 
 }  // namespace
 
@@ -347,29 +207,6 @@ Result<Executor::Rows> Executor::RunFilter(const PlanNode& node,
   return out;
 }
 
-namespace {
-
-/// Copies the slot ranges filled by the subtree rooted at `node` from `src`
-/// into `dst` (used to merge join sides).
-void CollectScanRanges(const PlanNode& node,
-                       std::vector<std::pair<int, int>>* ranges) {
-  if (node.slot_offset >= 0) {
-    ranges->emplace_back(node.slot_offset, node.slot_count);
-  }
-  for (const auto& c : node.children) CollectScanRanges(*c, ranges);
-}
-
-void MergeSlots(const std::vector<std::pair<int, int>>& ranges, const Row& src,
-                Row* dst) {
-  for (const auto& [off, count] : ranges) {
-    for (int i = 0; i < count; ++i) {
-      (*dst)[static_cast<size_t>(off + i)] = src[static_cast<size_t>(off + i)];
-    }
-  }
-}
-
-}  // namespace
-
 Result<Executor::Rows> Executor::RunNestedLoopJoin(const PlanNode& node,
                                                    int total_slots) const {
   HTAPEX_ASSIGN_OR_RETURN(Rows outer, Run(*node.children[0], total_slots));
@@ -417,10 +254,15 @@ Result<Executor::Rows> Executor::RunIndexNestedLoopJoin(const PlanNode& node,
     return Status::ExecutionError("index nested loop join requires join keys");
   }
   Rows out;
+  // The inner side is probed inline (never dispatched through Run), so
+  // count its output here for EXPLAIN-ANALYZE parity with other operators.
+  size_t index_rows = 0;
+  size_t filter_rows = 0;
   for (const Row& o : outer) {
     HTAPEX_ASSIGN_OR_RETURN(Value key, EvalExpr(*node.left_key, o));
     if (key.is_null()) continue;
     for (uint32_t row_id : index->PointLookup(key)) {
+      ++index_rows;
       Row merged = o;
       const Row& base = data->rows[row_id];
       for (size_t c = 0; c < base.size(); ++c) {
@@ -430,9 +272,14 @@ Result<Executor::Rows> Executor::RunIndexNestedLoopJoin(const PlanNode& node,
         HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(*filter, merged));
         if (!pass) continue;
       }
+      ++filter_rows;
       HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
       if (pass) out.push_back(std::move(merged));
     }
+  }
+  if (stats_ != nullptr) {
+    stats_->actual_rows[inner] = index_rows;
+    if (filter != nullptr) stats_->actual_rows[filter] = filter_rows;
   }
   return out;
 }
@@ -486,15 +333,6 @@ Result<Executor::Rows> Executor::RunAggregate(const PlanNode& node,
                                               int total_slots) const {
   HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
   // Group rows by key values (ordered map gives deterministic output order).
-  struct RowLess {
-    bool operator()(const Row& a, const Row& b) const {
-      for (size_t i = 0; i < a.size(); ++i) {
-        int c = a[i].Compare(b[i]);
-        if (c != 0) return c < 0;
-      }
-      return false;
-    }
-  };
   std::map<Row, std::vector<AggState>, RowLess> groups;
   for (const Row& row : in) {
     Row key;
@@ -545,7 +383,7 @@ Result<Executor::Rows> Executor::RunSort(const PlanNode& node,
     }
     keyed.emplace_back(std::move(key), std::move(row));
   }
-  SortKeyLess less{&node.sort_keys, nullptr};
+  SortKeyLess less{&node.sort_keys};
   std::stable_sort(keyed.begin(), keyed.end(), less);
   Rows out;
   out.reserve(keyed.size());
@@ -555,14 +393,56 @@ Result<Executor::Rows> Executor::RunSort(const PlanNode& node,
 
 Result<Executor::Rows> Executor::RunTopN(const PlanNode& node,
                                          int total_slots) const {
-  // Semantically sort + slice; the latency model charges only a bounded
-  // heap.
-  HTAPEX_ASSIGN_OR_RETURN(Rows sorted, RunSort(node, total_slots));
   size_t start = static_cast<size_t>(std::max<int64_t>(node.offset, 0));
-  size_t count = node.limit < 0 ? sorted.size() : static_cast<size_t>(node.limit);
+  if (node.limit < 0) {
+    // No limit: nothing to bound, degenerate to a full sort + offset slice.
+    HTAPEX_ASSIGN_OR_RETURN(Rows sorted, RunSort(node, total_slots));
+    Rows out;
+    for (size_t i = start; i < sorted.size(); ++i) {
+      out.push_back(std::move(sorted[i]));
+    }
+    return out;
+  }
+  // Bounded heap of the offset+limit first rows under the sort order —
+  // the work the latency model charges. The (keys, input index) total
+  // order makes this exactly equivalent to stable_sort + slice.
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  size_t keep = start + static_cast<size_t>(node.limit);
+  if (keep == 0) return Rows{};
+  struct Entry {
+    Row key;
+    Row row;
+    size_t idx;
+  };
+  auto precedes = [&node](const Entry& a, const Entry& b) {
+    int c = CompareSortKeyRows(node.sort_keys, a.key, b.key);
+    if (c != 0) return c < 0;
+    return a.idx < b.idx;  // ties resolve to earlier input, as stable_sort
+  };
+  // Max-heap under `precedes`: front is the worst row currently kept.
+  std::vector<Entry> heap;
+  heap.reserve(std::min(keep, in.size()) + 1);
+  for (size_t i = 0; i < in.size(); ++i) {
+    Row key;
+    key.reserve(node.sort_keys.size());
+    for (const auto& k : node.sort_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in[i]));
+      key.push_back(std::move(v));
+    }
+    Entry e{std::move(key), std::move(in[i]), i};
+    if (heap.size() < keep) {
+      heap.push_back(std::move(e));
+      std::push_heap(heap.begin(), heap.end(), precedes);
+    } else if (precedes(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), precedes);
+      heap.back() = std::move(e);
+      std::push_heap(heap.begin(), heap.end(), precedes);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), precedes);
   Rows out;
-  for (size_t i = start; i < sorted.size() && out.size() < count; ++i) {
-    out.push_back(std::move(sorted[i]));
+  for (size_t i = start; i < heap.size(); ++i) {
+    out.push_back(std::move(heap[i].row));
   }
   return out;
 }

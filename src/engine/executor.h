@@ -14,9 +14,9 @@
 namespace htapex {
 
 /// Per-node execution statistics (EXPLAIN ANALYZE style): actual output
-/// cardinality of every operator executed through the main dispatcher.
-/// (The probe side of an index nested-loop join is driven inline and is
-/// not separately recorded.)
+/// cardinality of every operator, including the inline-probed inner side
+/// of index nested-loop joins. Both executors (row-at-a-time and
+/// vectorized) record identical per-node cardinalities for the same plan.
 struct ExecStats {
   std::map<const PlanNode*, size_t> actual_rows;
 };

@@ -16,6 +16,8 @@ Status HtapSystem::Init(const HtapConfig& config) {
   tp_optimizer_ = std::make_unique<TpOptimizer>(catalog_, config.tp_cost);
   ap_optimizer_ = std::make_unique<ApOptimizer>(catalog_, config.ap_cost);
   executor_ = std::make_unique<Executor>(catalog_, row_store_, column_store_);
+  vec_executor_ = std::make_unique<VecExecutor>(catalog_, column_store_);
+  vec_executor_->set_num_workers(config.vec_workers);
   if (config.data_scale_factor > 0) {
     TpchDataGenerator gen(config.data_scale_factor, config.datagen_seed);
     for (const auto& table : catalog_.TableNames()) {
@@ -76,8 +78,24 @@ double HtapSystem::LatencyMs(const PhysicalPlan& plan,
 Result<QueryResultSet> HtapSystem::Execute(const PhysicalPlan& plan,
                                            const BoundQuery& query,
                                            ExecStats* stats) const {
+  ExecMode mode = plan.engine == EngineKind::kAp ? config_.ap_exec_mode
+                                                 : ExecMode::kRow;
+  return ExecuteWithMode(mode, plan, query, stats);
+}
+
+Result<QueryResultSet> HtapSystem::ExecuteWithMode(ExecMode mode,
+                                                   const PhysicalPlan& plan,
+                                                   const BoundQuery& query,
+                                                   ExecStats* stats) const {
   if (!data_loaded_) {
     return Status::ExecutionError("no data loaded (plan-only mode)");
+  }
+  if (mode == ExecMode::kVectorized) {
+    if (plan.engine != EngineKind::kAp) {
+      return Status::ExecutionError(
+          "vectorized executor only runs AP plans");
+    }
+    return vec_executor_->Execute(plan, OutputNames(query), stats);
   }
   return executor_->Execute(plan, OutputNames(query), stats);
 }
@@ -96,11 +114,9 @@ Result<HtapQueryOutcome> HtapSystem::RunQuery(std::string_view sql) const {
                        : EngineKind::kAp;
   if (data_loaded_) {
     HTAPEX_ASSIGN_OR_RETURN(QueryResultSet tp_result,
-                            executor_->Execute(outcome.plans.tp,
-                                               outcome.output_names));
+                            Execute(outcome.plans.tp, query));
     HTAPEX_ASSIGN_OR_RETURN(QueryResultSet ap_result,
-                            executor_->Execute(outcome.plans.ap,
-                                               outcome.output_names));
+                            Execute(outcome.plans.ap, query));
     outcome.results_match =
         tp_result.Fingerprint() == ap_result.Fingerprint();
     outcome.tp_result = std::move(tp_result);

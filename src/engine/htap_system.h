@@ -11,12 +11,18 @@
 #include "common/result.h"
 #include "engine/executor.h"
 #include "engine/latency_model.h"
+#include "engine/vec_executor.h"
 #include "obs/trace.h"
 #include "storage/column_store.h"
 #include "storage/row_store.h"
 #include "tp/tp_optimizer.h"
 
 namespace htapex {
+
+/// Which executor runs AP (columnar) plans. The row-at-a-time executor is
+/// the semantic oracle; the vectorized morsel-driven executor is the fast
+/// path and is held to byte-identical results and per-node ExecStats.
+enum class ExecMode { kRow, kVectorized };
 
 /// Configuration of the in-process HTAP system.
 struct HtapConfig {
@@ -31,6 +37,11 @@ struct HtapConfig {
   LatencyParams latency;
   TpCostParams tp_cost;
   ApCostParams ap_cost;
+  /// Executor selection for AP plans (TP plans always run row-at-a-time).
+  ExecMode ap_exec_mode = ExecMode::kVectorized;
+  /// Morsel workers for the vectorized executor; 0 = auto (see
+  /// VecExecutor::set_num_workers).
+  int vec_workers = 0;
 };
 
 /// Outcome of running one query through both engines.
@@ -73,6 +84,10 @@ class HtapSystem {
   const HtapConfig& config() const { return config_; }
   bool data_loaded() const { return data_loaded_; }
 
+  /// Direct access to the vectorized executor (benchmarks flip the worker
+  /// count between runs; tests pin it). Valid after Init.
+  VecExecutor* vec_executor() const { return vec_executor_.get(); }
+
   /// Creates a secondary index (catalog + physical build in the row store),
   /// e.g. the paper's user-added index on customer.c_phone.
   Status CreateIndex(const IndexDef& def);
@@ -92,10 +107,19 @@ class HtapSystem {
                    std::vector<NodeLatency>* breakdown = nullptr) const;
 
   /// Executes a plan against the loaded data; optional EXPLAIN ANALYZE
-  /// style per-node actual cardinalities.
+  /// style per-node actual cardinalities. AP plans run on the executor
+  /// selected by config().ap_exec_mode; TP plans always run row-at-a-time.
   Result<QueryResultSet> Execute(const PhysicalPlan& plan,
                                  const BoundQuery& query,
                                  ExecStats* stats = nullptr) const;
+
+  /// Executes with an explicit executor choice, overriding the configured
+  /// ap_exec_mode (used by parity tests and benchmarks). kVectorized
+  /// requires an AP plan.
+  Result<QueryResultSet> ExecuteWithMode(ExecMode mode,
+                                         const PhysicalPlan& plan,
+                                         const BoundQuery& query,
+                                         ExecStats* stats = nullptr) const;
 
   /// Full pipeline: bind, plan both, model latencies, execute both (when
   /// data is loaded) and cross-check results.
@@ -109,6 +133,7 @@ class HtapSystem {
   std::unique_ptr<TpOptimizer> tp_optimizer_;
   std::unique_ptr<ApOptimizer> ap_optimizer_;
   std::unique_ptr<Executor> executor_;
+  std::unique_ptr<VecExecutor> vec_executor_;
   bool data_loaded_ = false;
 };
 

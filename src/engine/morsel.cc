@@ -1,0 +1,52 @@
+#include "engine/morsel.h"
+
+namespace htapex {
+
+WorkerPool::WorkerPool(int workers) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::Run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  pending_ = workers();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    (*fn)(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace htapex

@@ -1,0 +1,87 @@
+#ifndef HTAPEX_ENGINE_MORSEL_H_
+#define HTAPEX_ENGINE_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htapex {
+
+/// A contiguous run of base-table rows claimed by one worker. Morsels are
+/// aligned to column-store segment boundaries so zone-map pruning stays
+/// segment-granular inside a morsel.
+struct Morsel {
+  size_t index = 0;  // 0-based morsel number (merge order)
+  size_t begin = 0;  // first row (inclusive)
+  size_t end = 0;    // last row (exclusive)
+};
+
+/// Work-stealing-free shared dispatcher: workers grab the next morsel with
+/// one atomic fetch-add. Results are merged by Morsel::index, so query
+/// results are independent of worker count and scheduling order.
+class MorselDispatcher {
+ public:
+  /// Splits [0, total_rows) into morsels of `morsel_rows` (the last one may
+  /// be short). morsel_rows must be > 0.
+  MorselDispatcher(size_t total_rows, size_t morsel_rows)
+      : total_rows_(total_rows), morsel_rows_(morsel_rows) {}
+
+  /// Claims the next morsel. Returns false when the table is exhausted.
+  bool Next(Morsel* out) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    size_t begin = i * morsel_rows_;
+    if (begin >= total_rows_) return false;
+    out->index = i;
+    out->begin = begin;
+    out->end = std::min(begin + morsel_rows_, total_rows_);
+    return true;
+  }
+
+  size_t morsel_count() const {
+    return total_rows_ == 0 ? 0 : (total_rows_ + morsel_rows_ - 1) / morsel_rows_;
+  }
+
+ private:
+  const size_t total_rows_;
+  const size_t morsel_rows_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Fixed pool of worker threads executing one parallel region at a time.
+/// Run(fn) invokes fn(worker_id) on every worker and blocks until all
+/// return — the pipeline-breaker barrier. Threads persist across Run calls
+/// (morsel-driven execution dispatches many short regions).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(worker_id) on every pool thread; returns when all finished.
+  /// Not reentrant: one Run at a time (callers are single-threaded).
+  void Run(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  uint64_t generation_ = 0;  // bumped per Run; workers wait for a new value
+  int pending_ = 0;          // workers still running the current region
+  bool shutdown_ = false;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ENGINE_MORSEL_H_

@@ -1,0 +1,594 @@
+#include "engine/vec_executor.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "engine/exec_util.h"
+#include "engine/vec_batch.h"
+
+namespace htapex {
+
+int VecExecutor::effective_workers() const {
+  if (requested_workers_ > 0) return requested_workers_;
+  unsigned hc = std::thread::hardware_concurrency();
+  int avail = hc == 0 ? 1 : static_cast<int>(hc);
+  return std::max(1, std::min(4, avail));
+}
+
+void VecExecutor::EnsurePool(int workers) const {
+  if (pool_ == nullptr || pool_->workers() != workers) {
+    pool_ = std::make_unique<WorkerPool>(workers);
+  }
+}
+
+bool VecExecutor::IsPipelineChain(const PlanNode& node) {
+  const PlanNode* cur = &node;
+  while (cur->op == PlanOp::kHashJoin) cur = cur->children[0].get();
+  return cur->op == PlanOp::kColumnScan;
+}
+
+Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
+                                  PipelineSpec* spec) const {
+  // Walk the probe spine: join nodes top→down, ending at the scan.
+  std::vector<const PlanNode*> join_chain;
+  const PlanNode* cur = &root;
+  while (cur->op == PlanOp::kHashJoin) {
+    join_chain.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  spec->scan = cur;
+  HTAPEX_ASSIGN_OR_RETURN(spec->table, column_store_.GetTable(cur->relation));
+  HTAPEX_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          catalog_.GetTable(cur->relation));
+  for (const auto& name : cur->columns_read) {
+    int c = schema->ColumnIndex(name);
+    if (c < 0) return Status::ExecutionError("unknown column: " + name);
+    spec->ordinals.push_back(c);
+  }
+  spec->nodes.push_back(cur);
+  // Build sides, bottom-up. Identical key-insertion sequence to the row
+  // executor's RunHashJoin, so equal_range iteration order (and therefore
+  // join output order) matches it exactly within one binary.
+  for (auto it = join_chain.rbegin(); it != join_chain.rend(); ++it) {
+    const PlanNode* j = *it;
+    BuiltJoin bj;
+    bj.node = j;
+    HTAPEX_ASSIGN_OR_RETURN(bj.build_rows, Run(*j->children[1], total_slots));
+    CollectScanRanges(*j->children[1], &bj.build_ranges);
+    if (j->left_key == nullptr || j->right_key == nullptr) {
+      bj.cross = true;
+    } else {
+      bj.build_keys.resize(bj.build_rows.size());
+      for (size_t i = 0; i < bj.build_rows.size(); ++i) {
+        HTAPEX_ASSIGN_OR_RETURN(Value k,
+                                EvalExpr(*j->right_key, bj.build_rows[i]));
+        if (k.is_null()) continue;
+        bj.build_keys[i] = k;
+        bj.table.emplace(k.Hash(), i);
+      }
+    }
+    spec->joins.push_back(std::move(bj));
+    spec->nodes.push_back(j);
+  }
+  return Status::OK();
+}
+
+Status VecExecutor::TypedAggMorsel(const PipelineSpec& spec,
+                                   const VecBatch& batch,
+                                   kernels::Arena* arena,
+                                   MorselOut* out) const {
+  const PlanNode& node = *spec.agg;
+  out->typed.assign(node.aggregates.size(), AggState{});
+  if (batch.sel.empty()) return Status::OK();
+  for (size_t a = 0; a < node.aggregates.size(); ++a) {
+    const Expr& agg = *node.aggregates[a];
+    AggState& s = out->typed[a];
+    if (agg.count_star) {
+      s.count = static_cast<int64_t>(batch.sel.size());
+      continue;
+    }
+    bool sums = agg.agg_kind == AggKind::kSum || agg.agg_kind == AggKind::kAvg;
+    int ordinal = agg.children[0]->flat_slot - spec.scan->slot_offset;
+    const ColumnVector& col =
+        spec.table->columns[static_cast<size_t>(ordinal)];
+    if (col.type() == DataType::kDouble) {
+      double* buf = arena->AllocDoubles(batch.sel.size());
+      size_t k = GatherNonNullF64(col, batch, buf);
+      if (k == 0) continue;
+      s.count = static_cast<int64_t>(k);
+      if (sums) {
+        // Any double value flips SUM to the double accumulator — the same
+        // promotion point AccumulateAggValue hits on the first value.
+        s.sum_is_int = false;
+        s.sum = kernels::SumF64(buf, static_cast<int>(k));
+      }
+      double mn = buf[0], mx = buf[0];
+      for (size_t i = 1; i < k; ++i) {
+        mn = std::min(mn, buf[i]);
+        mx = std::max(mx, buf[i]);
+      }
+      s.min = Value::Double(mn);
+      s.max = Value::Double(mx);
+      s.any = true;
+    } else {
+      int64_t* buf = arena->AllocInt64s(batch.sel.size());
+      size_t k = GatherNonNullI64(col, batch, buf);
+      if (k == 0) continue;
+      s.count = static_cast<int64_t>(k);
+      if (sums) s.isum = kernels::SumI64(buf, static_cast<int>(k));
+      int64_t mn = buf[0], mx = buf[0];
+      for (size_t i = 1; i < k; ++i) {
+        mn = std::min(mn, buf[i]);
+        mx = std::max(mx, buf[i]);
+      }
+      s.min = Value::Int(mn);
+      s.max = Value::Int(mx);
+      s.any = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status VecExecutor::ProcessMorsel(const PipelineSpec& spec,
+                                  const Morsel& morsel, int total_slots,
+                                  kernels::Arena* arena,
+                                  MorselOut* out) const {
+  VecBatch batch;
+  batch.table = spec.table;
+  batch.begin = morsel.begin;
+  batch.end = morsel.end;
+  HTAPEX_RETURN_IF_ERROR(ComputeScanSelection(*spec.scan, spec.ordinals,
+                                              total_slots, arena, &batch));
+  out->counts[0] = batch.sel.size();
+  if (spec.sink == SinkKind::kTypedAgg) {
+    return TypedAggMorsel(spec, batch, arena, out);
+  }
+  Rows rows;
+  MaterializeBatchRows(*spec.scan, spec.ordinals, batch, total_slots, &rows);
+  for (size_t ji = 0; ji < spec.joins.size(); ++ji) {
+    const BuiltJoin& bj = spec.joins[ji];
+    const PlanNode& jn = *bj.node;
+    Rows next;
+    if (bj.cross) {
+      for (const Row& p : rows) {
+        for (const Row& b : bj.build_rows) {
+          Row merged = p;
+          MergeSlots(bj.build_ranges, b, &merged);
+          HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(jn, merged));
+          if (pass) next.push_back(std::move(merged));
+        }
+      }
+    } else {
+      for (const Row& p : rows) {
+        HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*jn.left_key, p));
+        if (k.is_null()) continue;
+        auto [lo, hi] = bj.table.equal_range(k.Hash());
+        for (auto it = lo; it != hi; ++it) {
+          if (bj.build_keys[it->second].Compare(k) != 0) continue;
+          Row merged = p;
+          MergeSlots(bj.build_ranges, bj.build_rows[it->second], &merged);
+          HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(jn, merged));
+          if (pass) next.push_back(std::move(merged));
+        }
+      }
+    }
+    out->counts[1 + ji] = next.size();
+    rows = std::move(next);
+  }
+  if (spec.sink == SinkKind::kGroups) {
+    return AccumulateRows(*spec.agg, rows, &out->groups);
+  }
+  out->rows = std::move(rows);
+  return Status::OK();
+}
+
+void VecExecutor::RunMorselLoop(const PipelineSpec& spec, int total_slots,
+                                std::vector<MorselOut>* outs) const {
+  MorselDispatcher dispatcher(spec.table->num_rows, kMorselRows);
+  auto work = [&](int) {
+    Morsel m;
+    while (dispatcher.Next(&m)) {
+      MorselOut& mo = (*outs)[m.index];
+      mo.counts.assign(spec.nodes.size(), 0);
+      kernels::Arena& arena = kernels::ThreadArena();
+      arena.Reset();
+      mo.status = ProcessMorsel(spec, m, total_slots, &arena, &mo);
+    }
+  };
+  int workers = effective_workers();
+  if (workers <= 1 || dispatcher.morsel_count() <= 1) {
+    work(0);
+  } else {
+    EnsurePool(workers);
+    pool_->Run(work);
+  }
+}
+
+void VecExecutor::RecordPipelineStats(const PipelineSpec& spec,
+                                      const std::vector<MorselOut>& outs) const {
+  if (stats_ == nullptr) return;
+  std::vector<size_t> totals(spec.nodes.size(), 0);
+  for (const MorselOut& mo : outs) {
+    for (size_t i = 0; i < totals.size(); ++i) totals[i] += mo.counts[i];
+  }
+  for (size_t i = 0; i < totals.size(); ++i) {
+    stats_->actual_rows[spec.nodes[i]] = totals[i];
+  }
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunPipeline(const PlanNode& root,
+                                                   int total_slots) const {
+  PipelineSpec spec;
+  HTAPEX_RETURN_IF_ERROR(BuildPipeline(root, total_slots, &spec));
+  MorselDispatcher sizing(spec.table->num_rows, kMorselRows);
+  std::vector<MorselOut> outs(sizing.morsel_count());
+  RunMorselLoop(spec, total_slots, &outs);
+  // Merge in morsel index order: output (and the error surfaced, if any)
+  // is independent of worker count and scheduling.
+  for (const MorselOut& mo : outs) HTAPEX_RETURN_IF_ERROR(mo.status);
+  Rows all;
+  for (MorselOut& mo : outs) {
+    all.insert(all.end(), std::make_move_iterator(mo.rows.begin()),
+               std::make_move_iterator(mo.rows.end()));
+  }
+  RecordPipelineStats(spec, outs);
+  return all;
+}
+
+bool VecExecutor::TypedAggEligible(const PlanNode& node,
+                                   const PipelineSpec& spec) {
+  if (!node.group_keys.empty() || !spec.joins.empty()) return false;
+  for (const auto& agg : node.aggregates) {
+    if (agg->count_star) continue;
+    if (agg->distinct) return false;
+    if (agg->children.size() != 1 ||
+        agg->children[0]->kind != ExprKind::kColumnRef) {
+      return false;
+    }
+    int ordinal = agg->children[0]->flat_slot - spec.scan->slot_offset;
+    if (ordinal < 0 ||
+        static_cast<size_t>(ordinal) >= spec.table->columns.size()) {
+      return false;
+    }
+    DataType t = spec.table->columns[static_cast<size_t>(ordinal)].type();
+    if (t == DataType::kString) return false;
+  }
+  return true;
+}
+
+Status VecExecutor::AccumulateRows(const PlanNode& node, const Rows& rows,
+                                   GroupMap* groups) {
+  for (const Row& row : rows) {
+    Row key;
+    key.reserve(node.group_keys.size());
+    for (const auto& g : node.group_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] =
+        groups->try_emplace(std::move(key), node.aggregates.size());
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      HTAPEX_RETURN_IF_ERROR(
+          AccumulateAgg(*node.aggregates[a], row, &it->second[a]));
+    }
+  }
+  return Status::OK();
+}
+
+VecExecutor::Rows VecExecutor::FinalizeGroups(const PlanNode& node,
+                                              const GroupMap& groups) {
+  Rows out;
+  if (groups.empty() && node.group_keys.empty()) {
+    Row row;
+    std::vector<AggState> empty(node.aggregates.size());
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      row.push_back(FinalizeAgg(*node.aggregates[a], empty[a]));
+    }
+    out.push_back(std::move(row));
+    return out;
+  }
+  for (const auto& [key, states] : groups) {
+    Row row = key;
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      row.push_back(FinalizeAgg(*node.aggregates[a], states[a]));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunAggregate(const PlanNode& node,
+                                                    int total_slots) const {
+  const PlanNode& child = *node.children[0];
+  if (!IsPipelineChain(child)) {
+    // Non-pipeline input (filter, sort, exchange, ...): materialize it,
+    // then aggregate sequentially — the row executor's exact shape.
+    HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(child, total_slots));
+    GroupMap groups;
+    HTAPEX_RETURN_IF_ERROR(AccumulateRows(node, in, &groups));
+    return FinalizeGroups(node, groups);
+  }
+  // Fused aggregation: each morsel accumulates partial states; partials
+  // merge at the pipeline breaker in morsel order.
+  PipelineSpec spec;
+  spec.agg = &node;
+  HTAPEX_RETURN_IF_ERROR(BuildPipeline(child, total_slots, &spec));
+  spec.sink = TypedAggEligible(node, spec) ? SinkKind::kTypedAgg
+                                           : SinkKind::kGroups;
+  MorselDispatcher sizing(spec.table->num_rows, kMorselRows);
+  std::vector<MorselOut> outs(sizing.morsel_count());
+  RunMorselLoop(spec, total_slots, &outs);
+  for (const MorselOut& mo : outs) HTAPEX_RETURN_IF_ERROR(mo.status);
+  RecordPipelineStats(spec, outs);
+  if (spec.sink == SinkKind::kTypedAgg) {
+    std::vector<AggState> global(node.aggregates.size());
+    for (const MorselOut& mo : outs) {
+      for (size_t a = 0; a < node.aggregates.size(); ++a) {
+        MergeAggState(*node.aggregates[a], mo.typed[a], &global[a]);
+      }
+    }
+    Row row;
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      row.push_back(FinalizeAgg(*node.aggregates[a], global[a]));
+    }
+    Rows out;
+    out.push_back(std::move(row));
+    return out;
+  }
+  GroupMap global;
+  for (const MorselOut& mo : outs) {
+    for (const auto& [key, states] : mo.groups) {
+      auto [it, inserted] = global.try_emplace(key, node.aggregates.size());
+      for (size_t a = 0; a < node.aggregates.size(); ++a) {
+        MergeAggState(*node.aggregates[a], states[a], &it->second[a]);
+      }
+    }
+  }
+  return FinalizeGroups(node, global);
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunFilter(const PlanNode& node,
+                                                 int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  Rows out;
+  for (Row& row : in) {
+    HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, row));
+    if (pass) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunNestedLoopJoin(
+    const PlanNode& node, int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows outer, Run(*node.children[0], total_slots));
+  HTAPEX_ASSIGN_OR_RETURN(Rows inner, Run(*node.children[1], total_slots));
+  std::vector<std::pair<int, int>> inner_ranges;
+  CollectScanRanges(*node.children[1], &inner_ranges);
+  Rows out;
+  for (const Row& o : outer) {
+    for (const Row& i : inner) {
+      Row merged = o;
+      MergeSlots(inner_ranges, i, &merged);
+      if (node.left_key != nullptr) {
+        HTAPEX_ASSIGN_OR_RETURN(Value lk, EvalExpr(*node.left_key, merged));
+        HTAPEX_ASSIGN_OR_RETURN(Value rk, EvalExpr(*node.right_key, merged));
+        if (lk.is_null() || rk.is_null() || lk.Compare(rk) != 0) continue;
+      }
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+      if (pass) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
+    const PlanNode& node, int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows probe, Run(*node.children[0], total_slots));
+  HTAPEX_ASSIGN_OR_RETURN(Rows build, Run(*node.children[1], total_slots));
+  std::vector<std::pair<int, int>> build_ranges;
+  CollectScanRanges(*node.children[1], &build_ranges);
+
+  if (node.left_key == nullptr || node.right_key == nullptr) {
+    Rows out;
+    for (const Row& p : probe) {
+      for (const Row& b : build) {
+        Row merged = p;
+        MergeSlots(build_ranges, b, &merged);
+        HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+        if (pass) out.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  std::unordered_multimap<uint64_t, size_t> table;
+  std::vector<Value> build_keys(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.right_key, build[i]));
+    if (k.is_null()) continue;
+    build_keys[i] = k;
+    table.emplace(k.Hash(), i);
+  }
+  Rows out;
+  for (const Row& p : probe) {
+    HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.left_key, p));
+    if (k.is_null()) continue;
+    auto [lo, hi] = table.equal_range(k.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      if (build_keys[it->second].Compare(k) != 0) continue;
+      Row merged = p;
+      MergeSlots(build_ranges, build[it->second], &merged);
+      HTAPEX_ASSIGN_OR_RETURN(bool pass, PassesPredicates(node, merged));
+      if (pass) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunSort(const PlanNode& node,
+                                               int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  std::vector<std::pair<Row, Row>> keyed;
+  keyed.reserve(in.size());
+  for (Row& row : in) {
+    Row key;
+    key.reserve(node.sort_keys.size());
+    for (const auto& k : node.sort_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, row));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), std::move(row));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&node](const std::pair<Row, Row>& a,
+                           const std::pair<Row, Row>& b) {
+                     return CompareSortKeyRows(node.sort_keys, a.first,
+                                               b.first) < 0;
+                   });
+  Rows out;
+  out.reserve(keyed.size());
+  for (auto& [key, row] : keyed) out.push_back(std::move(row));
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunTopN(const PlanNode& node,
+                                               int total_slots) const {
+  size_t start = static_cast<size_t>(std::max<int64_t>(node.offset, 0));
+  if (node.limit < 0) {
+    HTAPEX_ASSIGN_OR_RETURN(Rows sorted, RunSort(node, total_slots));
+    Rows out;
+    for (size_t i = start; i < sorted.size(); ++i) {
+      out.push_back(std::move(sorted[i]));
+    }
+    return out;
+  }
+  // Bounded heap under the (keys, input index) total order — identical to
+  // the row executor's RunTopN, hence to stable_sort + slice.
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  size_t keep = start + static_cast<size_t>(node.limit);
+  if (keep == 0) return Rows{};
+  struct Entry {
+    Row key;
+    Row row;
+    size_t idx;
+  };
+  auto precedes = [&node](const Entry& a, const Entry& b) {
+    int c = CompareSortKeyRows(node.sort_keys, a.key, b.key);
+    if (c != 0) return c < 0;
+    return a.idx < b.idx;
+  };
+  std::vector<Entry> heap;
+  heap.reserve(std::min(keep, in.size()) + 1);
+  for (size_t i = 0; i < in.size(); ++i) {
+    Row key;
+    key.reserve(node.sort_keys.size());
+    for (const auto& k : node.sort_keys) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in[i]));
+      key.push_back(std::move(v));
+    }
+    Entry e{std::move(key), std::move(in[i]), i};
+    if (heap.size() < keep) {
+      heap.push_back(std::move(e));
+      std::push_heap(heap.begin(), heap.end(), precedes);
+    } else if (precedes(e, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), precedes);
+      heap.back() = std::move(e);
+      std::push_heap(heap.begin(), heap.end(), precedes);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), precedes);
+  Rows out;
+  for (size_t i = start; i < heap.size(); ++i) {
+    out.push_back(std::move(heap[i].row));
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunLimit(const PlanNode& node,
+                                                int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  size_t start = static_cast<size_t>(std::max<int64_t>(node.offset, 0));
+  size_t count = node.limit < 0 ? in.size() : static_cast<size_t>(node.limit);
+  Rows out;
+  for (size_t i = start; i < in.size() && out.size() < count; ++i) {
+    out.push_back(std::move(in[i]));
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunProject(const PlanNode& node,
+                                                  int total_slots) const {
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
+  Rows out;
+  out.reserve(in.size());
+  for (const Row& row : in) {
+    Row projected;
+    projected.reserve(node.projections.size());
+    for (const auto& p : node.projections) {
+      HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
+      projected.push_back(std::move(v));
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<VecExecutor::Rows> VecExecutor::Run(const PlanNode& node,
+                                           int total_slots) const {
+  Result<Rows> rows = RunDispatch(node, total_slots);
+  if (rows.ok() && stats_ != nullptr) {
+    stats_->actual_rows[&node] = rows.value().size();
+  }
+  return rows;
+}
+
+Result<VecExecutor::Rows> VecExecutor::RunDispatch(const PlanNode& node,
+                                                   int total_slots) const {
+  switch (node.op) {
+    case PlanOp::kColumnScan:
+      return RunPipeline(node, total_slots);
+    case PlanOp::kHashJoin:
+      if (IsPipelineChain(node)) return RunPipeline(node, total_slots);
+      return RunHashJoinSequential(node, total_slots);
+    case PlanOp::kGroupAggregate:
+    case PlanOp::kHashAggregate:
+      return RunAggregate(node, total_slots);
+    case PlanOp::kFilter:
+      return RunFilter(node, total_slots);
+    case PlanOp::kNestedLoopJoin:
+      return RunNestedLoopJoin(node, total_slots);
+    case PlanOp::kSort:
+      return RunSort(node, total_slots);
+    case PlanOp::kTopN:
+      return RunTopN(node, total_slots);
+    case PlanOp::kLimit:
+      return RunLimit(node, total_slots);
+    case PlanOp::kProject:
+      return RunProject(node, total_slots);
+    case PlanOp::kExchange:
+      return Run(*node.children[0], total_slots);
+    case PlanOp::kTableScan:
+    case PlanOp::kIndexScan:
+    case PlanOp::kIndexNestedLoopJoin:
+      return Status::ExecutionError(
+          std::string("vectorized executor cannot run TP operator: ") +
+          PlanOpName(node.op));
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<QueryResultSet> VecExecutor::Execute(
+    const PhysicalPlan& plan, std::vector<std::string> output_names,
+    ExecStats* stats) const {
+  stats_ = stats;
+  Result<Rows> rows = Run(*plan.root, plan.total_slots);
+  stats_ = nullptr;
+  if (!rows.ok()) return rows.status();
+  QueryResultSet result;
+  result.column_names = std::move(output_names);
+  result.rows = std::move(*rows);
+  return result;
+}
+
+}  // namespace htapex

@@ -1,0 +1,155 @@
+#ifndef HTAPEX_ENGINE_VEC_EXECUTOR_H_
+#define HTAPEX_ENGINE_VEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/kernels.h"
+#include "common/result.h"
+#include "engine/agg_state.h"
+#include "engine/executor.h"
+#include "engine/morsel.h"
+#include "plan/plan_node.h"
+#include "storage/column_store.h"
+
+namespace htapex {
+
+/// Vectorized, morsel-driven executor for AP (columnar) plans.
+///
+/// Scan→hash-join pipelines run morsel-parallel: workers claim
+/// segment-aligned row ranges from a shared dispatcher, evaluate scan
+/// predicates as column-at-a-time masks over borrowed column spans
+/// (kernels::MaskCmp* et al., per-morsel Arena scratch), late-materialize
+/// survivors, and probe the shared (read-only) hash tables built once
+/// before the parallel region. Aggregations directly above a pipeline fold
+/// into it as per-morsel partial states merged at the pipeline breaker;
+/// everything else (sort, top-N, projection, non-pipeline joins) runs
+/// sequentially with the row executor's exact semantics.
+///
+/// Parity contract: for any AP plan this executor produces byte-identical
+/// QueryResultSet::Fingerprint() output and identical per-node ExecStats
+/// to the row-at-a-time Executor (the oracle), independent of worker
+/// count — morsel results merge in morsel index order, group maps are
+/// ordered, and double-SUM reassociation is absorbed by the fingerprint's
+/// %.6g normalization just like the existing TP-vs-AP cross-check.
+class VecExecutor {
+ public:
+  /// Morsel granularity: 4 column-store segments, keeping zone-map pruning
+  /// segment-granular inside a morsel.
+  static constexpr size_t kMorselRows = 4 * ColumnVector::kSegmentRows;
+
+  VecExecutor(const Catalog& catalog, const ColumnStore& column_store)
+      : catalog_(catalog), column_store_(column_store) {}
+
+  /// Worker count for morsel-parallel regions. 0 (default) = auto
+  /// (hardware concurrency capped at 4); 1 runs morsels inline on the
+  /// calling thread; >1 uses a persistent worker pool.
+  void set_num_workers(int n) { requested_workers_ = n; }
+  int effective_workers() const;
+
+  /// Runs an AP plan; `output_names` labels the result columns. When
+  /// `stats` is provided, per-node actual cardinalities are recorded.
+  /// TP-only operators (row scans, index probes) are rejected.
+  Result<QueryResultSet> Execute(const PhysicalPlan& plan,
+                                 std::vector<std::string> output_names,
+                                 ExecStats* stats = nullptr) const;
+
+ private:
+  using Rows = std::vector<Row>;
+  using GroupMap = std::map<Row, std::vector<AggState>, RowLess>;
+
+  /// One hash-join build side, constructed before the parallel region and
+  /// probed read-only by all workers.
+  struct BuiltJoin {
+    const PlanNode* node = nullptr;
+    Rows build_rows;
+    std::vector<Value> build_keys;
+    std::unordered_multimap<uint64_t, size_t> table;
+    std::vector<std::pair<int, int>> build_ranges;
+    bool cross = false;  // no equi-keys: degenerate cross join
+  };
+
+  /// What each morsel feeds at the pipeline breaker.
+  enum class SinkKind {
+    kRows,      // materialized rows, merged in morsel order
+    kGroups,    // per-morsel partial group maps (generic fused aggregation)
+    kTypedAgg,  // per-morsel partial AggStates over raw column spans
+  };
+
+  /// A compiled scan(→join)* pipeline.
+  struct PipelineSpec {
+    const PlanNode* scan = nullptr;
+    const ColumnTable* table = nullptr;
+    std::vector<int> ordinals;      // schema ordinals of scan.columns_read
+    std::vector<BuiltJoin> joins;   // bottom-up (scan-adjacent first)
+    std::vector<const PlanNode*> nodes;  // [scan, joins bottom-up] for stats
+    SinkKind sink = SinkKind::kRows;
+    const PlanNode* agg = nullptr;  // fused aggregate (kGroups/kTypedAgg)
+  };
+
+  /// Per-morsel output slot, merged in morsel index order.
+  struct MorselOut {
+    Rows rows;
+    GroupMap groups;
+    std::vector<AggState> typed;
+    std::vector<size_t> counts;  // per spec.nodes entry
+    Status status = Status::OK();
+  };
+
+  Result<Rows> Run(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunDispatch(const PlanNode& node, int total_slots) const;
+
+  /// True when `node` roots a hash-join chain whose probe spine bottoms
+  /// out in a column scan (the morsel-parallel pipeline shape).
+  static bool IsPipelineChain(const PlanNode& node);
+
+  Status BuildPipeline(const PlanNode& root, int total_slots,
+                       PipelineSpec* spec) const;
+  Status ProcessMorsel(const PipelineSpec& spec, const Morsel& morsel,
+                       int total_slots, kernels::Arena* arena,
+                       MorselOut* out) const;
+  Status TypedAggMorsel(const PipelineSpec& spec, const struct VecBatch& batch,
+                        kernels::Arena* arena, MorselOut* out) const;
+  /// Runs the morsel loop over `spec` (inline or on the worker pool),
+  /// filling one MorselOut per morsel.
+  void RunMorselLoop(const PipelineSpec& spec, int total_slots,
+                     std::vector<MorselOut>* outs) const;
+  void RecordPipelineStats(const PipelineSpec& spec,
+                           const std::vector<MorselOut>& outs) const;
+
+  Result<Rows> RunPipeline(const PlanNode& root, int total_slots) const;
+  Result<Rows> RunAggregate(const PlanNode& node, int total_slots) const;
+  static bool TypedAggEligible(const PlanNode& node, const PipelineSpec& spec);
+
+  // Sequential operators, mirroring the row executor.
+  Result<Rows> RunFilter(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunNestedLoopJoin(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunHashJoinSequential(const PlanNode& node,
+                                     int total_slots) const;
+  Result<Rows> RunSort(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunTopN(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunLimit(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunProject(const PlanNode& node, int total_slots) const;
+
+  static Status AccumulateRows(const PlanNode& node, const Rows& rows,
+                               GroupMap* groups);
+  static Rows FinalizeGroups(const PlanNode& node, const GroupMap& groups);
+
+  void EnsurePool(int workers) const;
+
+  const Catalog& catalog_;
+  const ColumnStore& column_store_;
+  int requested_workers_ = 0;
+  /// Lazily built, persists across Execute calls; rebuilt on size change.
+  mutable std::unique_ptr<WorkerPool> pool_;
+  /// Set only for the duration of an instrumented Execute call.
+  mutable ExecStats* stats_ = nullptr;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_ENGINE_VEC_EXECUTOR_H_

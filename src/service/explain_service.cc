@@ -502,6 +502,18 @@ std::string ExplainService::ExpositionText() const {
             {{"kernel", "reduce_max"}});
   b.Counter("htapex_kernel_ops_total", kKernelHelp, k.max_accum,
             {{"kernel", "max_accum"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.mask_cmp,
+            {{"kernel", "mask_cmp"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.mask_and,
+            {{"kernel", "mask_and"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.mask_andnot,
+            {{"kernel", "mask_andnot"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.count_mask,
+            {{"kernel", "count_mask"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.sum_f64,
+            {{"kernel", "sum_f64"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.sum_i64,
+            {{"kernel", "sum_i64"}});
 
   const char* kStageHelp = "Service stage latency summaries";
   b.Summary("htapex_stage_latency_ms", kStageHelp, s.encode,

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "engine/htap_system.h"
 
 namespace htapex {
@@ -276,6 +278,67 @@ TEST_F(EngineTest, ExecStatsRecordActualCardinalities) {
   for (const auto& [node, rows] : stats.actual_rows) {
     EXPECT_LE(rows, 25u) << PlanOpName(node->op);
   }
+}
+
+TEST_F(EngineTest, IndexNestedLoopJoinRecordsProbeSideStats) {
+  // Regression: the INLJ inner side is probed inline (never dispatched
+  // through Run), so EXPLAIN ANALYZE used to show no actual cardinality
+  // for the inner IndexScan — the explainer then read "0 rows" for the
+  // most expensive access path in the plan.
+  auto query = system_->Bind(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_orderstatus = 'p'");
+  ASSERT_TRUE(query.ok());
+  auto plans = system_->PlanBoth(*query);
+  ASSERT_TRUE(plans.ok());
+  // Find the index nested-loop join in the TP plan.
+  const PlanNode* inlj = nullptr;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    if (n.op == PlanOp::kIndexNestedLoopJoin) inlj = &n;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*plans->tp.root);
+  ASSERT_NE(inlj, nullptr) << plans->tp.Explain();
+  ExecStats stats;
+  auto result = system_->Execute(plans->tp, *query, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The probe-side access node (IndexScan, possibly under a Filter) must
+  // have a recorded actual cardinality >= the join's output.
+  const PlanNode* inner = inlj->children[1].get();
+  const PlanNode* filter = nullptr;
+  if (inner->op == PlanOp::kFilter) {
+    filter = inner;
+    inner = inner->children[0].get();
+  }
+  ASSERT_EQ(inner->op, PlanOp::kIndexScan);
+  auto inner_it = stats.actual_rows.find(inner);
+  ASSERT_NE(inner_it, stats.actual_rows.end())
+      << "no actual cardinality recorded for the INLJ probe side";
+  auto join_it = stats.actual_rows.find(inlj);
+  ASSERT_NE(join_it, stats.actual_rows.end());
+  EXPECT_GT(inner_it->second, 0u);
+  EXPECT_GE(inner_it->second, join_it->second);
+  if (filter != nullptr) {
+    auto filter_it = stats.actual_rows.find(filter);
+    ASSERT_NE(filter_it, stats.actual_rows.end());
+    EXPECT_LE(filter_it->second, inner_it->second);
+    EXPECT_GE(filter_it->second, join_it->second);
+  }
+}
+
+TEST_F(EngineTest, TopNBreaksSortKeyTiesDeterministically) {
+  // Regression: Top-N over a low-cardinality sort key (massive ties) must
+  // return the same window as full-sort-then-limit. The bounded heap
+  // breaks ties by input order, matching the stable sort of the oracle.
+  auto outcome = system_->RunQuery(
+      "SELECT o_orderkey, o_orderstatus FROM orders "
+      "ORDER BY o_orderstatus LIMIT 10 OFFSET 3");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->tp_result->rows.size(), 10u);
+  EXPECT_TRUE(outcome->results_match)
+      << "Top-N tie-break diverged from stable sort";
+  // The AP plan really went through Top-N (not Sort+Limit).
+  EXPECT_NE(outcome->plans.ap.Explain().find("Top-N"), std::string::npos);
 }
 
 TEST_F(EngineTest, BindErrorsPropagate) {

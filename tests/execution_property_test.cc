@@ -7,10 +7,38 @@
 
 #include "common/string_util.h"
 #include "engine/htap_system.h"
+#include "common/kernels.h"
 #include "workload/query_generator.h"
 
 namespace htapex {
 namespace {
+
+/// Runs the AP plan for `sql` through both AP executors (row-at-a-time
+/// oracle vs vectorized morsel-driven) and asserts byte-identical
+/// fingerprints and identical per-node ExecStats.
+void ExpectRowVecParity(const HtapSystem& system, const std::string& sql) {
+  auto query = system.Bind(sql);
+  ASSERT_TRUE(query.ok()) << sql << ": " << query.status();
+  auto plans = system.PlanBoth(*query);
+  ASSERT_TRUE(plans.ok()) << sql;
+  ExecStats row_stats, vec_stats;
+  auto row_res =
+      system.ExecuteWithMode(ExecMode::kRow, plans->ap, *query, &row_stats);
+  auto vec_res = system.ExecuteWithMode(ExecMode::kVectorized, plans->ap,
+                                        *query, &vec_stats);
+  ASSERT_TRUE(row_res.ok()) << sql << ": " << row_res.status();
+  ASSERT_TRUE(vec_res.ok()) << sql << ": " << vec_res.status();
+  EXPECT_EQ(row_res->Fingerprint(), vec_res->Fingerprint()) << sql;
+  // Identical per-node EXPLAIN ANALYZE counts: same node set, same counts.
+  EXPECT_EQ(row_stats.actual_rows.size(), vec_stats.actual_rows.size()) << sql;
+  for (const auto& [node, rows] : row_stats.actual_rows) {
+    auto it = vec_stats.actual_rows.find(node);
+    ASSERT_NE(it, vec_stats.actual_rows.end())
+        << sql << ": vectorized executor missing stats for "
+        << PlanOpName(node->op);
+    EXPECT_EQ(it->second, rows) << sql << " at " << PlanOpName(node->op);
+  }
+}
 
 class ExecutionPropertyTest
     : public ::testing::TestWithParam<QueryPattern> {
@@ -48,6 +76,31 @@ TEST_P(ExecutionPropertyTest, EnginesAgreeOnGeneratedQueries) {
     ++executed;
   }
   EXPECT_EQ(executed, 8);
+}
+
+TEST_P(ExecutionPropertyTest, RowAndVectorizedExecutorsAgree) {
+  // Differential property: randomized plans through both AP executors must
+  // produce identical fingerprints AND identical per-node ExecStats.
+  QueryGenerator gen(system_->config().stats_scale_factor,
+                     0x7e57 ^ static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 8; ++i) {
+    GeneratedQuery gq = gen.Generate(GetParam());
+    ExpectRowVecParity(*system_, gq.sql);
+  }
+}
+
+TEST_P(ExecutionPropertyTest, ParityHoldsOnScalarKernelBackend) {
+  // Force the scalar kernel backend so parity cannot silently depend on a
+  // particular SIMD implementation; restore the active backend after.
+  kernels::Backend prior = kernels::ActiveBackend();
+  ASSERT_TRUE(kernels::ForceBackendForTest(kernels::Backend::kScalar));
+  QueryGenerator gen(system_->config().stats_scale_factor,
+                     0x5ca1a ^ static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 3; ++i) {
+    GeneratedQuery gq = gen.Generate(GetParam());
+    ExpectRowVecParity(*system_, gq.sql);
+  }
+  ASSERT_TRUE(kernels::ForceBackendForTest(prior));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "catalog/tpch.h"
 #include "common/rng.h"
@@ -283,6 +285,154 @@ TEST(ColumnVectorTest, AllNullSegmentHasNoZoneRange) {
   Value min, max;
   EXPECT_FALSE(col.ZoneRange(0, &min, &max));
   EXPECT_FALSE(col.SegmentMayContain(0, Value::Str("x")));
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning regressions: a wrong prune silently drops rows, so every
+// prune decision below is checked against EvalPredicate semantics.
+// ---------------------------------------------------------------------------
+
+class ZonePruneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Segment 0: all NULL. Segment 1: values 1..1024 with one NULL at the
+    // end. Segment 2 (partial): constant 7, no nulls.
+    col_ = ColumnVector(DataType::kInt);
+    for (size_t i = 0; i < ColumnVector::kSegmentRows; ++i) {
+      col_.Append(Value::Null());
+    }
+    for (size_t i = 0; i + 1 < ColumnVector::kSegmentRows; ++i) {
+      col_.Append(Value::Int(static_cast<int64_t>(i) + 1));
+    }
+    col_.Append(Value::Null());
+    for (int i = 0; i < 10; ++i) col_.Append(Value::Int(7));
+    ASSERT_EQ(col_.num_segments(), 3u);
+    ASSERT_TRUE(col_.SegmentAllNull(0));
+    ASSERT_TRUE(col_.SegmentHasNulls(1));
+    ASSERT_FALSE(col_.SegmentAllNull(1));
+    ASSERT_FALSE(col_.SegmentHasNulls(2));
+  }
+
+  static std::unique_ptr<Expr> Cmp(CompareOp op, Value lit) {
+    return MakeComparison(op, MakeColumnRef("t", "x"),
+                          MakeLiteral(std::move(lit)));
+  }
+
+  static std::unique_ptr<Expr> IsNull(bool negated) {
+    auto e = std::make_unique<Expr>(ExprKind::kIsNull);
+    e->negated = negated;
+    e->children.push_back(MakeColumnRef("t", "x"));
+    return e;
+  }
+
+  static std::unique_ptr<Expr> In(std::vector<Value> lits) {
+    auto e = std::make_unique<Expr>(ExprKind::kIn);
+    e->children.push_back(MakeColumnRef("t", "x"));
+    for (Value& v : lits) e->children.push_back(MakeLiteral(std::move(v)));
+    return e;
+  }
+
+  static std::unique_ptr<Expr> Between(Value lo, Value hi) {
+    auto e = std::make_unique<Expr>(ExprKind::kBetween);
+    e->children.push_back(MakeColumnRef("t", "x"));
+    e->children.push_back(MakeLiteral(std::move(lo)));
+    e->children.push_back(MakeLiteral(std::move(hi)));
+    return e;
+  }
+
+  ColumnVector col_{DataType::kInt};
+};
+
+TEST_F(ZonePruneTest, AllNullSegmentMatchesOnlyIsNull) {
+  // Regression: an all-NULL segment must be pruned for every value
+  // predicate (NULL comparisons never pass) but NOT for IS NULL.
+  auto eq = Cmp(CompareOp::kEq, Value::Int(5));
+  ASSERT_TRUE(IsZoneCheckable(*eq));
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *eq));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *eq));   // 5 is in [1, 1023]
+  EXPECT_FALSE(SegmentMayMatch(col_, 2, *eq));  // constant-7 segment
+
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *Cmp(CompareOp::kLt, Value::Int(5))));
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *Between(Value::Int(1), Value::Int(9))));
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *In({Value::Int(1), Value::Int(2)})));
+
+  auto is_null = IsNull(false);
+  ASSERT_TRUE(IsZoneCheckable(*is_null));
+  EXPECT_TRUE(SegmentMayMatch(col_, 0, *is_null));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *is_null));   // has one null
+  EXPECT_FALSE(SegmentMayMatch(col_, 2, *is_null));  // no nulls
+}
+
+TEST_F(ZonePruneTest, IsNotNullPrunesOnlyAllNullSegments) {
+  auto not_null = IsNull(true);
+  ASSERT_TRUE(IsZoneCheckable(*not_null));
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *not_null));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *not_null));
+  EXPECT_TRUE(SegmentMayMatch(col_, 2, *not_null));
+}
+
+TEST_F(ZonePruneTest, NullLiteralsMatchNothing) {
+  // `x = NULL`, `x BETWEEN NULL AND ...`, `x IN (NULL)` are never true, so
+  // every segment may be pruned — including ones whose zone range would
+  // otherwise overlap.
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Cmp(CompareOp::kEq, Value::Null())));
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Between(Value::Null(), Value::Int(9))));
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Between(Value::Int(1), Value::Null())));
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *In({Value::Null()})));
+  // But a NULL *element* beside a matching one must not prune the segment.
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *In({Value::Null(), Value::Int(5)})));
+  EXPECT_FALSE(SegmentMayMatch(col_, 2, *In({Value::Null(), Value::Int(5)})));
+}
+
+TEST_F(ZonePruneTest, NotEqualPrunesOnlyConstantSegments) {
+  // kNe can only prune a segment whose every value equals the literal.
+  auto ne7 = Cmp(CompareOp::kNe, Value::Int(7));
+  EXPECT_FALSE(SegmentMayMatch(col_, 2, *ne7));  // all rows are 7
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *ne7));   // range segment
+  auto ne8 = Cmp(CompareOp::kNe, Value::Int(8));
+  EXPECT_TRUE(SegmentMayMatch(col_, 2, *ne8));   // 7 != 8 everywhere
+  EXPECT_FALSE(SegmentMayMatch(col_, 0, *ne7));  // NULL != 7 is not true
+}
+
+TEST_F(ZonePruneTest, RangePredicatesRespectZoneBounds) {
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Cmp(CompareOp::kGt, Value::Int(1023))));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *Cmp(CompareOp::kGe, Value::Int(1023))));
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Cmp(CompareOp::kLt, Value::Int(1))));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *Cmp(CompareOp::kLe, Value::Int(1))));
+  EXPECT_FALSE(SegmentMayMatch(col_, 1, *Between(Value::Int(2000), Value::Int(3000))));
+  EXPECT_TRUE(SegmentMayMatch(col_, 1, *Between(Value::Int(1000), Value::Int(3000))));
+}
+
+TEST_F(ZonePruneTest, PruningAgreesWithExecutionOnAllNullSegments) {
+  // End-to-end guard: a table whose first segment of a filtered column is
+  // all-NULL still returns the right COUNT through the AP scan.
+  // (Regression for wrongly treating a no-zone-range segment as prunable
+  // under IS NULL, or unprunable under value predicates.)
+  size_t n = col_.size();
+  size_t nulls = 0, sevens = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Value v = col_.Get(i);
+    if (v.is_null()) {
+      ++nulls;
+    } else if (v.AsInt() == 7) {
+      ++sevens;
+    }
+  }
+  EXPECT_EQ(nulls, ColumnVector::kSegmentRows + 1);
+  EXPECT_EQ(sevens, 11u);  // value 7 in segment 1 plus ten in segment 2
+  // Each segment that may match `x = 7` must actually contain a 7 or be a
+  // conservative keep; segments pruned must contain none.
+  auto eq7 = Cmp(CompareOp::kEq, Value::Int(7));
+  for (size_t seg = 0; seg < col_.num_segments(); ++seg) {
+    if (SegmentMayMatch(col_, seg, *eq7)) continue;
+    size_t begin = seg * ColumnVector::kSegmentRows;
+    size_t end = std::min(n, begin + ColumnVector::kSegmentRows);
+    for (size_t i = begin; i < end; ++i) {
+      Value v = col_.Get(i);
+      EXPECT_TRUE(v.is_null() || v.AsInt() != 7)
+          << "segment " << seg << " wrongly pruned: row " << i << " matches";
+    }
+  }
 }
 
 }  // namespace
