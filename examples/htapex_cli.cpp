@@ -8,6 +8,17 @@
 // ExplainService and prints one line per result plus the service stats —
 // worker-pool throughput and cache hit rate included.
 //
+// Sharded serving: `htapex_cli --serve [dispatchers] --shards=N` runs the
+// same batch through a ShardedExplainService tier — N consistent-hash
+// shards with health-checked failover (src/service/sharded_service.h).
+// Each result line names the shard that answered and whether it failed
+// over; the summary prints the bucket-merged tier stats, the failover
+// counters, and the tier exposition. With --data-dir=PATH each shard
+// persists under PATH/shard-<i> and expert corrections replicate to a
+// successor shard before they are acknowledged. The tier-level fault
+// points (shard.kill, shard.stall, replicate.drop) can be armed through
+// the same --faults= spec.
+//
 // Commands:
 //   \demo            run three showcase queries
 //   \kb              list knowledge-base entries
@@ -55,6 +66,9 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "core/htap_explainer.h"
 #include "core/report.h"
 #include "common/string_util.h"
@@ -62,6 +76,7 @@
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "service/explain_service.h"
+#include "service/sharded_service.h"
 
 namespace {
 
@@ -158,6 +173,108 @@ int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
   return 0;
 }
 
+/// --serve --shards=N: the batch goes through the sharded tier instead of
+/// one service. `dispatchers` caller threads drive the synchronous
+/// Explain() front end (each shard still runs its own worker pool), with a
+/// health-monitor beat woven in every few arrivals.
+int RunServeSharded(const HtapSystem* system, const ExplainerConfig& ec,
+                    const SmartRouter& trained, int shards, int dispatchers,
+                    const std::string& data_dir, const char* const* demo,
+                    size_t demo_count) {
+  ShardedServiceConfig config;
+  config.num_shards = shards;
+  config.data_dir = data_dir;
+  config.faults = ec.faults;
+  config.fault_seed = ec.fault_seed;
+  config.shard.slow_trace_ms = g_trace_log_ms;
+  ShardedExplainService tier(system, ec, config);
+  Status st = tier.InitFrom(trained);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tier init failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Recovered shards already carry their state; only a fresh tier gets the
+  // default curated knowledge partitioned across its shards.
+  if (data_dir.empty() ||
+      !DurableKnowledgeBase::HasState(data_dir + "/shard-0")) {
+    st = tier.BuildDefaultKnowledgeBase();
+    if (!st.ok()) {
+      std::fprintf(stderr, "kb build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> sqls;
+  if (isatty(0)) {
+    for (int round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < demo_count; ++i) sqls.push_back(demo[i]);
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string sql(Trim(line));
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      if (!sql.empty()) sqls.push_back(std::move(sql));
+    }
+  }
+  if (sqls.empty()) {
+    std::printf("--serve: no queries on stdin\n");
+    return 0;
+  }
+
+  std::printf("serving %zu queries across %d shards (%d dispatchers)...\n",
+              sqls.size(), shards, dispatchers);
+  std::vector<std::string> lines(sqls.size());
+  std::atomic<size_t> cursor{0};
+  auto dispatch = [&]() {
+    for (size_t i = cursor.fetch_add(1); i < sqls.size();
+         i = cursor.fetch_add(1)) {
+      auto r = tier.Explain(sqls[i]);
+      if (!r.ok()) {
+        lines[i] = "error: " + r.status().ToString();
+        continue;
+      }
+      lines[i] = StrFormat(
+          "shard %d%-11s %-5s %-6s %-17s %.60s", r->failover.final_shard,
+          r->failover.failed_over ? " (failover)" : "",
+          r->result.from_cache ? "cache" : "fresh",
+          FormatMillis(r->result.end_to_end_ms()).c_str(),
+          DegradationLevelName(r->result.degradation),
+          r->result.outcome.sql.c_str());
+      if (i % 8 == 7) tier.Heartbeat();
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < dispatchers; ++t) pool.emplace_back(dispatch);
+  for (std::thread& t : pool) t.join();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::printf("[%3zu] %s\n", i, lines[i].c_str());
+  }
+
+  ShardedServiceStats stats = tier.Stats();
+  std::printf("\n=== tier stats (bucket-merged over %d shards) ===\n%s\n",
+              shards, stats.merged.ToString().c_str());
+  std::printf(
+      "failover: requests=%llu failovers=%llu ejections=%llu "
+      "readmissions=%llu kills=%llu replications=%llu aborts=%llu "
+      "live=%d/%d beats=%llu\n",
+      static_cast<unsigned long long>(stats.failover.requests),
+      static_cast<unsigned long long>(stats.failover.failovers),
+      static_cast<unsigned long long>(stats.failover.ejections),
+      static_cast<unsigned long long>(stats.failover.readmissions),
+      static_cast<unsigned long long>(stats.failover.kills),
+      static_cast<unsigned long long>(stats.failover.replications),
+      static_cast<unsigned long long>(stats.failover.replicate_aborts),
+      stats.live_shards, shards,
+      static_cast<unsigned long long>(stats.heartbeats));
+  for (const std::string& event : tier.EventLog()) {
+    std::printf("  event: %s\n", event.c_str());
+  }
+  std::printf("\n=== metrics (Prometheus text) ===\n%s",
+              tier.ExpositionText().c_str());
+  return 0;
+}
+
 /// \metrics outside --serve: the interactive path has no service, so it
 /// renders the explainer-side counters and the traces ExplainOne recorded.
 std::string InteractiveMetricsText(const HtapExplainer& explainer) {
@@ -194,6 +311,7 @@ int main(int argc, char** argv) {
   ExplainerConfig config;
   std::string data_dir;
   bool require_recovery = false;
+  int shard_count = 1;
   // Pull --faults= / --fault-seed= / --data-dir= / --recover out of argv
   // wherever they appear; the remaining positional args keep their
   // existing meaning.
@@ -222,6 +340,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
       config.fault_seed =
           static_cast<uint64_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shard_count = std::atoi(argv[i] + 9);
+      if (shard_count < 1) {
+        std::fprintf(stderr, "--shards needs a positive shard count\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace-log=", 12) == 0) {
       g_trace_log_ms = std::strtod(argv[i] + 12, nullptr);
       if (g_trace_log_ms <= 0.0) {
@@ -251,9 +375,13 @@ int main(int argc, char** argv) {
 
   // Crash-safe KB persistence: recover from --data-dir when it has state,
   // otherwise seed it from the default curated KB (unless --recover, which
-  // treats an uninitialized directory as an error).
+  // treats an uninitialized directory as an error). With --shards=N the
+  // tier owns both the knowledge and its persistence (per-shard dirs), so
+  // the standalone explainer stays empty.
   std::unique_ptr<DurableKnowledgeBase> durable;
-  if (!data_dir.empty()) {
+  if (shard_count > 1) {
+    // handled in RunServeSharded
+  } else if (!data_dir.empty()) {
     DurabilityOptions dopt;
     dopt.dir = data_dir;
     dopt.snapshot_every_n = 32;
@@ -303,8 +431,17 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
     int workers = argc > 2 ? std::atoi(argv[2]) : 4;
     if (workers < 1) workers = 4;
+    if (shard_count > 1) {
+      return RunServeSharded(&system, config, explainer.router(), shard_count,
+                             workers, data_dir, demo,
+                             sizeof(demo) / sizeof(demo[0]));
+    }
     return RunServe(&explainer, durable.get(), workers, demo,
                     sizeof(demo) / sizeof(demo[0]));
+  }
+  if (shard_count > 1) {
+    std::fprintf(stderr, "--shards applies to --serve mode only\n");
+    return 2;
   }
   bool demo_mode = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
   if (demo_mode || !isatty(0)) {

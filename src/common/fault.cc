@@ -14,7 +14,9 @@ bool IsKnownPoint(std::string_view name) {
          name == kFaultLlmGarbled || name == kFaultLlmSlow ||
          name == kFaultKbHnswSearch || name == kFaultKbInsert ||
          name == kFaultWalAppend || name == kFaultWalFsync ||
-         name == kFaultSnapshotWrite || name == kFaultSnapshotRename;
+         name == kFaultSnapshotWrite || name == kFaultSnapshotRename ||
+         name == kFaultShardKill || name == kFaultShardStall ||
+         name == kFaultReplicateDrop;
 }
 
 uint64_t Mix64(uint64_t x) {

@@ -29,6 +29,16 @@ inline constexpr char kFaultWalAppend[] = "wal.append";
 inline constexpr char kFaultWalFsync[] = "wal.fsync";
 inline constexpr char kFaultSnapshotWrite[] = "snapshot.write";
 inline constexpr char kFaultSnapshotRename[] = "snapshot.rename";
+// Sharded-tier fault points (src/service/sharded_service.*): shard.kill
+// simulates a whole shard dying mid-request (service torn down without a
+// clean-shutdown snapshot, disk left as-is); shard.stall simulates a
+// slow/hung shard (adds latency and counts against its health); and
+// replicate.drop simulates the correction-replication link to the successor
+// shard failing (the mutation is aborted and never acked — zero
+// acknowledged corrections may be lost).
+inline constexpr char kFaultShardKill[] = "shard.kill";
+inline constexpr char kFaultShardStall[] = "shard.stall";
+inline constexpr char kFaultReplicateDrop[] = "replicate.drop";
 
 /// Per-point injection parameters.
 struct FaultSpec {

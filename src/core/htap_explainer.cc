@@ -162,7 +162,7 @@ Status HtapExplainer::InsertWithRetry(KbEntry entry) {
   return st;
 }
 
-Status HtapExplainer::BuildDefaultKnowledgeBase() {
+std::vector<std::string> HtapExplainer::DefaultKnowledgeSqls() const {
   // The paper's Section IV: 20 representative queries, selected to cover
   // the workload's performance-distinction patterns (joins and top-N
   // queries, plus the selective access paths that make TP win). The KB
@@ -188,7 +188,11 @@ Status HtapExplainer::BuildDefaultKnowledgeBase() {
       sqls.push_back(gen.Generate(pc.pattern, /*variant=*/i).sql);
     }
   }
-  return AddToKnowledgeBase(sqls);
+  return sqls;
+}
+
+Status HtapExplainer::BuildDefaultKnowledgeBase() {
+  return AddToKnowledgeBase(DefaultKnowledgeSqls());
 }
 
 Result<PreparedQuery> HtapExplainer::PreparePlans(const std::string& sql,

@@ -144,6 +144,11 @@ class HtapExplainer {
   /// covers the workload's performance-distinction patterns.
   Status BuildDefaultKnowledgeBase();
 
+  /// The SQL texts BuildDefaultKnowledgeBase would insert, without
+  /// inserting them. The sharded tier uses this to partition the default
+  /// knowledge across shards by embedding ownership.
+  std::vector<std::string> DefaultKnowledgeSqls() const;
+
   /// Full pipeline for one query: plan both engines, embed the pair,
   /// retrieve top-K knowledge, prompt the model, grade the output.
   /// Equivalent to Prepare() followed by ExplainPrepared(). A non-null

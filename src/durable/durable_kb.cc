@@ -370,15 +370,7 @@ Result<RecoveryInfo> DurableKnowledgeBase::Recover(const Manifest& manifest) {
   const FaultInjector* kb_faults = kb_->fault_injector();
   kb_->set_fault_injector(nullptr);
   auto apply = [this](const WalRecord& record) -> Status {
-    switch (record.op) {
-      case WalRecord::Op::kInsert:
-        return kb_->Insert(record.entry).status();
-      case WalRecord::Op::kCorrect:
-        return kb_->CorrectExplanation(record.id, record.text);
-      case WalRecord::Op::kExpire:
-        return kb_->Expire(record.id);
-    }
-    return Status::Internal("unreachable wal op");
+    return ApplyWalRecord(record, kb_);
   };
   Status replay_status = Status::OK();
   bool bad_history = false;

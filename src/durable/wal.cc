@@ -79,6 +79,10 @@ std::string EncodeWalRecord(const WalRecord& record) {
       root.Set("id", JsonValue::Int(record.id));
       break;
   }
+  if (record.ordinal != 0) {
+    root.Set("ordinal",
+             JsonValue::Int(static_cast<int64_t>(record.ordinal)));
+  }
   return root.Dump();
 }
 
@@ -114,6 +118,7 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
   } else {
     return Status::ParseError("unknown wal op: " + op);
   }
+  record.ordinal = static_cast<uint64_t>(root.GetInt("ordinal", 0));
   return record;
 }
 
@@ -225,6 +230,18 @@ Status WalWriter::Sync() {
   synced_offset_ = offset_;
   if (metrics_ != nullptr) metrics_->wal_fsyncs.Inc();
   return Status::OK();
+}
+
+Status ApplyWalRecord(const WalRecord& record, KnowledgeBase* kb) {
+  switch (record.op) {
+    case WalRecord::Op::kInsert:
+      return kb->Insert(record.entry).status();
+    case WalRecord::Op::kCorrect:
+      return kb->CorrectExplanation(record.id, record.text);
+    case WalRecord::Op::kExpire:
+      return kb->Expire(record.id);
+  }
+  return Status::Internal("unreachable wal op");
 }
 
 Status ReplayWalSegment(const std::string& path, bool truncate_torn_tail,

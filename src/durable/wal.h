@@ -23,6 +23,12 @@ struct WalRecord {
   KbEntry entry;     // kInsert payload
   int id = -1;       // kCorrect / kExpire target
   std::string text;  // kCorrect replacement explanation
+  /// Per-source replication sequence number, 1-based; 0 (the default) in
+  /// local WAL segments. Replica-log shipping stamps each shipped record
+  /// with its source shard's mutation ordinal so a shard rebuilt from
+  /// replica logs scattered across several successors can restore the
+  /// original mutation order by sorting on it (see sharded_service.h).
+  uint64_t ordinal = 0;
 };
 
 /// Compact JSON payload for one record (the bytes the CRC covers).
@@ -100,6 +106,13 @@ struct WalReplayStats {
 Status ReplayWalSegment(const std::string& path, bool truncate_torn_tail,
                         const std::function<Status(const WalRecord&)>& apply,
                         WalReplayStats* stats);
+
+/// Applies one decoded WAL record to a knowledge base: the canonical
+/// op → mutation mapping shared by local recovery replay
+/// (DurableKnowledgeBase) and replica-log replay (the sharded tier's
+/// lose-disk bootstrap). Keeping it here means a new WalRecord::Op cannot
+/// be handled on one path and forgotten on the other.
+Status ApplyWalRecord(const WalRecord& record, KnowledgeBase* kb);
 
 }  // namespace htapex
 

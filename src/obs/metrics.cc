@@ -100,6 +100,32 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   return s;
 }
 
+LatencyHistogram::Snapshot LatencyHistogram::Merge(const Snapshot& a,
+                                                   const Snapshot& b) {
+  // Zero-sample sides contribute nothing; returning the other side verbatim
+  // also preserves its exact min/max instead of mixing in zero sentinels.
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  Snapshot m;
+  m.count = a.count + b.count;
+  m.sum_ms = a.sum_ms + b.sum_ms;
+  m.min_ms = std::min(a.min_ms, b.min_ms);
+  m.max_ms = std::max(a.max_ms, b.max_ms);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    m.buckets[static_cast<size_t>(i)] =
+        a.buckets[static_cast<size_t>(i)] + b.buckets[static_cast<size_t>(i)];
+  }
+  auto clamped = [&m](double q) {
+    return std::min(
+        std::max(QuantileFromBuckets(m.buckets, m.count, q), m.min_ms),
+        m.max_ms);
+  };
+  m.p50_ms = clamped(0.50);
+  m.p95_ms = clamped(0.95);
+  m.p99_ms = clamped(0.99);
+  return m;
+}
+
 ResilienceStats SnapshotResilience(const ResilienceMetrics& metrics) {
   ResilienceStats s;
   s.llm_attempts = metrics.llm_attempts.Value();
@@ -198,6 +224,69 @@ ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
   s.generate = metrics.generate.Snap();
   s.end_to_end = metrics.end_to_end.Snap();
   return s;
+}
+
+ServiceStats MergeServiceStats(const ServiceStats& a, const ServiceStats& b) {
+  ServiceStats m;
+  m.requests = a.requests + b.requests;
+  m.completed = a.completed + b.completed;
+  m.errors = a.errors + b.errors;
+  m.cache_hits = a.cache_hits + b.cache_hits;
+  m.cache_misses = a.cache_misses + b.cache_misses;
+  m.kb_inserts = a.kb_inserts + b.kb_inserts;
+  m.early_rejections = a.early_rejections + b.early_rejections;
+  m.degraded_full = a.degraded_full + b.degraded_full;
+  m.degraded_baseline = a.degraded_baseline + b.degraded_baseline;
+  m.degraded_plan_diff = a.degraded_plan_diff + b.degraded_plan_diff;
+  m.degraded_failed = a.degraded_failed + b.degraded_failed;
+
+  auto merge_res = [](const ResilienceStats& x, const ResilienceStats& y) {
+    ResilienceStats r;
+    r.llm_attempts = x.llm_attempts + y.llm_attempts;
+    r.llm_retries = x.llm_retries + y.llm_retries;
+    r.llm_timeouts = x.llm_timeouts + y.llm_timeouts;
+    r.llm_transient_errors = x.llm_transient_errors + y.llm_transient_errors;
+    r.llm_garbled = x.llm_garbled + y.llm_garbled;
+    r.llm_slow = x.llm_slow + y.llm_slow;
+    r.budget_exhausted = x.budget_exhausted + y.budget_exhausted;
+    r.breaker_opens = x.breaker_opens + y.breaker_opens;
+    r.breaker_half_opens = x.breaker_half_opens + y.breaker_half_opens;
+    r.breaker_closes = x.breaker_closes + y.breaker_closes;
+    r.breaker_short_circuits =
+        x.breaker_short_circuits + y.breaker_short_circuits;
+    r.fallbacks_baseline = x.fallbacks_baseline + y.fallbacks_baseline;
+    r.fallbacks_plan_diff = x.fallbacks_plan_diff + y.fallbacks_plan_diff;
+    r.kb_insert_retries = x.kb_insert_retries + y.kb_insert_retries;
+    return r;
+  };
+  m.resilience = merge_res(a.resilience, b.resilience);
+
+  m.durability_enabled = a.durability_enabled || b.durability_enabled;
+  auto merge_dur = [](const DurabilityStats& x, const DurabilityStats& y) {
+    DurabilityStats d;
+    d.wal_appends = x.wal_appends + y.wal_appends;
+    d.wal_fsyncs = x.wal_fsyncs + y.wal_fsyncs;
+    d.wal_bytes = x.wal_bytes + y.wal_bytes;
+    d.wal_rotations = x.wal_rotations + y.wal_rotations;
+    d.snapshots = x.snapshots + y.snapshots;
+    d.snapshot_failures = x.snapshot_failures + y.snapshot_failures;
+    d.snapshot_fallbacks = x.snapshot_fallbacks + y.snapshot_fallbacks;
+    d.replayed_records = x.replayed_records + y.replayed_records;
+    d.truncated_records = x.truncated_records + y.truncated_records;
+    d.corrupt_records = x.corrupt_records + y.corrupt_records;
+    d.recoveries = x.recoveries + y.recoveries;
+    d.recovery_micros = x.recovery_micros + y.recovery_micros;
+    d.gc_files = x.gc_files + y.gc_files;
+    return d;
+  };
+  m.durability = merge_dur(a.durability, b.durability);
+
+  m.encode = LatencyHistogram::Merge(a.encode, b.encode);
+  m.cache_lookup = LatencyHistogram::Merge(a.cache_lookup, b.cache_lookup);
+  m.kb_search = LatencyHistogram::Merge(a.kb_search, b.kb_search);
+  m.generate = LatencyHistogram::Merge(a.generate, b.generate);
+  m.end_to_end = LatencyHistogram::Merge(a.end_to_end, b.end_to_end);
+  return m;
 }
 
 namespace {

@@ -56,6 +56,13 @@ class LatencyHistogram {
   /// not cut at one instant — fine for monitoring).
   Snapshot Snap() const;
 
+  /// Merges two snapshots losslessly at the bucket level and recomputes the
+  /// quantiles from the combined buckets. This is the only correct way to
+  /// aggregate latency across shards: averaging per-shard p99s answers a
+  /// different (and wrong) question, while bucket merge yields the exact
+  /// histogram a single global recorder would have produced.
+  static Snapshot Merge(const Snapshot& a, const Snapshot& b);
+
  private:
   static int BucketOf(double ms);
 
@@ -241,6 +248,11 @@ struct ServiceStats {
 };
 
 ServiceStats SnapshotMetrics(const ServiceMetrics& metrics);
+
+/// Aggregates per-shard ServiceStats into fleet-level stats: counters sum,
+/// histograms merge bucket-wise (LatencyHistogram::Merge — no sample loss,
+/// no quantile averaging), durability is enabled if any input had it.
+ServiceStats MergeServiceStats(const ServiceStats& a, const ServiceStats& b);
 
 }  // namespace htapex
 

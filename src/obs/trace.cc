@@ -172,6 +172,24 @@ TraceMetrics::Stats TraceMetrics::Snap() const {
   return s;
 }
 
+TraceMetrics::Stats TraceMetrics::MergeStats(const Stats& a, const Stats& b) {
+  if (a.spans.empty()) return b;
+  if (b.spans.empty()) return a;
+  Stats m;
+  m.traces = a.traces + b.traces;
+  m.slow_traces = a.slow_traces + b.slow_traces;
+  m.unknown_spans = a.unknown_spans + b.unknown_spans;
+  size_t n = std::min(a.spans.size(), b.spans.size());
+  m.spans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SpanStat stat;
+    stat.name = a.spans[i].name;
+    stat.hist = LatencyHistogram::Merge(a.spans[i].hist, b.spans[i].hist);
+    m.spans.push_back(std::move(stat));
+  }
+  return m;
+}
+
 TraceRing::TraceRing(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       slots_(std::make_unique<std::atomic<std::shared_ptr<const Trace>>[]>(

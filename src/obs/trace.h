@@ -174,6 +174,11 @@ class TraceMetrics {
   };
   Stats Snap() const;
 
+  /// Merges two Stats (e.g. from different shards): counters sum, per-span
+  /// histograms merge bucket-wise via LatencyHistogram::Merge. Both inputs
+  /// must be in canonical span order (as produced by Snap()).
+  static Stats MergeStats(const Stats& a, const Stats& b);
+
   Counter traces_recorded;
   Counter slow_traces;   // above the service's slow-request threshold
   Counter unknown_spans; // span names outside the canonical taxonomy

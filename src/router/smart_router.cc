@@ -76,6 +76,12 @@ Status SmartRouter::Load(const std::string& path) {
   return s;
 }
 
+void SmartRouter::CloneWeightsFrom(const SmartRouter& other) {
+  *cnn_ = *other.cnn_;
+  quant_step_ = other.quant_step_;
+  RefreshFrozen();
+}
+
 double SmartRouter::ApProbability(const PlanPair& plans) const {
   return frozen_->PredictApFaster(FeaturizePlan(plans.tp),
                                   FeaturizePlan(plans.ap));

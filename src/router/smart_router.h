@@ -90,6 +90,12 @@ class SmartRouter {
   Status Save(const std::string& path) const { return cnn_->Save(path); }
   Status Load(const std::string& path);
 
+  /// Copies trained master weights + quantization step from another router
+  /// and re-freezes the float32 snapshot. Used by the sharded tier: the
+  /// routing explainer trains once, every shard clones — so all shards
+  /// embed identically and the consistent-hash key is shard-independent.
+  void CloneWeightsFrom(const SmartRouter& other);
+
  private:
   /// Re-snapshots the frozen model from the master weights.
   void RefreshFrozen();

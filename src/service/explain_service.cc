@@ -37,11 +37,27 @@ ExplainService::ExplainService(HtapExplainer* explainer, ServiceConfig config)
 
 ExplainService::~ExplainService() { Shutdown(); }
 
-void ExplainService::Shutdown() {
+void ExplainService::Shutdown() { ShutdownInternal(/*kill=*/false); }
+
+void ExplainService::Kill() { ShutdownInternal(/*kill=*/true); }
+
+Status ExplainService::DrainStatus() const {
+  if (config_.shard_id >= 0) {
+    return Status::Unavailable("shard " + std::to_string(config_.shard_id) +
+                               " is draining");
+  }
+  return Status::Unavailable("service is shutting down");
+}
+
+void ExplainService::ShutdownInternal(bool kill) {
+  // On kill the backlog is seized before workers wake: a crashed shard
+  // must not quietly finish its queue.
+  std::deque<Request> doomed;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) return;
     stopping_ = true;
+    if (kill) doomed.swap(queue_);
   }
   queue_cv_.notify_all();
   space_cv_.notify_all();
@@ -51,20 +67,21 @@ void ExplainService::Shutdown() {
   // Workers drain the queue before exiting, so this is normally empty; the
   // sweep guarantees that even if a worker died early (e.g. a throwing
   // explainer) no promise is ever abandoned — every future resolves.
-  std::deque<Request> orphans;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    orphans.swap(queue_);
+    for (Request& req : queue_) doomed.push_back(std::move(req));
+    queue_.clear();
   }
-  for (Request& req : orphans) {
+  for (Request& req : doomed) {
     metrics_.completed.Inc();
     metrics_.degraded_failed.Inc();
-    req.promise.set_value(Status::Unavailable("service is shutting down"));
+    req.promise.set_value(DrainStatus());
   }
-  if (config_.durable != nullptr &&
+  if (!kill && config_.durable != nullptr &&
       config_.durable->mutations_since_snapshot() > 0) {
     // Clean-shutdown snapshot (best effort — the WAL already holds every
-    // mutation): the next startup recovers without replaying the log.
+    // mutation): the next startup recovers without replaying the log. A
+    // kill skips this: simulated crashes leave disk exactly as-is.
     config_.durable->Snapshot();
   }
 }
@@ -81,7 +98,7 @@ std::future<Result<ExplainResult>> ExplainService::Submit(std::string sql,
       return stopping_ || queue_.size() < config_.queue_capacity;
     });
     if (stopping_) {
-      req.promise.set_value(Status::Unavailable("service is shutting down"));
+      req.promise.set_value(DrainStatus());
       return future;
     }
     req.enqueued = std::chrono::steady_clock::now();
@@ -127,7 +144,7 @@ std::vector<std::future<Result<ExplainResult>>> ExplainService::SubmitBatch(
   for (; next < sqls.size(); ++next) {
     std::promise<Result<ExplainResult>> promise;
     futures.push_back(promise.get_future());
-    promise.set_value(Status::Unavailable("service is shutting down"));
+    promise.set_value(DrainStatus());
   }
   return futures;
 }

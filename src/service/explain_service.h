@@ -60,6 +60,13 @@ struct ServiceConfig {
   /// durability counters, and Shutdown() installs a final snapshot so a
   /// clean restart recovers without replaying the log. nullptr disables.
   DurableKnowledgeBase* durable = nullptr;
+  /// Identity of this service within a sharded tier (sharded_service.h), or
+  /// -1 standalone. A non-negative id is attached to every kUnavailable
+  /// this service emits on its shutdown/orphan paths, so the shard router
+  /// can tell "shard N is draining" (fail over) from "request invalid"
+  /// (return to caller) by status code + shard id — never by matching
+  /// message strings.
+  int shard_id = -1;
 };
 
 /// Thread-safe, batched front end over HtapExplainer — the serving layer
@@ -142,6 +149,14 @@ class ExplainService {
   /// the destructor.
   void Shutdown();
 
+  /// Simulated crash: stops accepting work and fails the entire backlog
+  /// with typed Unavailable instead of draining it, and — unlike
+  /// Shutdown() — installs NO clean-shutdown snapshot, so disk is left
+  /// exactly as the crash found it (the WAL alone must carry recovery).
+  /// Workers currently mid-request finish that request; every promise
+  /// still resolves. Idempotent with Shutdown().
+  void Kill();
+
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -153,6 +168,12 @@ class ExplainService {
   };
 
   void WorkerLoop();
+  /// Shared body of Shutdown()/Kill(); `kill` skips the queue drain and the
+  /// clean-shutdown snapshot.
+  void ShutdownInternal(bool kill);
+  /// The typed kUnavailable for "this service is stopping", carrying the
+  /// shard id when configured (see ServiceConfig::shard_id).
+  Status DrainStatus() const;
   /// Cache probe + stage two for one request whose stage one (bind/plan/
   /// batched embed) already ran via HtapExplainer::PrepareBatch.
   Result<ExplainResult> ProcessPrepared(Result<PreparedQuery> prepared_or,

@@ -1,0 +1,90 @@
+#ifndef HTAPEX_SERVICE_SHARD_ROUTER_H_
+#define HTAPEX_SERVICE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace htapex {
+
+/// Consistent-hash ring placing plan-pair embeddings onto service shards.
+///
+/// The key is the same quantized-embedding lattice the PR-1 result cache
+/// uses (llround(coord / quant_step), FNV-1a over the lattice cell), so two
+/// queries that would share a cache entry always land on the same shard —
+/// cache affinity survives sharding for free, and a shard's local cache
+/// only ever sees its own keyspace.
+///
+/// Placement is a classic ring of virtual nodes: each shard owns
+/// `vnodes_per_shard` pseudo-random points (a pure function of ring seed,
+/// shard id, and vnode ordinal — no global RNG), a key is owned by the
+/// first vnode clockwise from its hash. Consequences the tests pin down:
+///  - adding/removing one shard of N moves only ~1/N of the keyspace;
+///  - ejecting a shard moves ONLY that shard's keys (each re-hashes to the
+///    next live shard on its arc); every other key keeps its owner, so the
+///    surviving shards' caches stay warm.
+///
+/// Liveness is per-shard atomics — Owner()/OwnerChain() skip dead shards
+/// without locking. The ring itself is immutable after construction.
+class ShardRouter {
+ public:
+  struct Options {
+    int num_shards = 4;
+    /// Virtual nodes per shard. More vnodes = smoother key distribution
+    /// (spread ~ 1/sqrt(vnodes)) at O(N * vnodes) ring memory.
+    int vnodes_per_shard = 64;
+    /// Seeds vnode placement; same seed + same shard count = same ring.
+    uint64_t seed = 42;
+  };
+
+  explicit ShardRouter(Options options);
+
+  /// The ring key of an embedding: FNV-1a over its quantization lattice
+  /// cell. `quant_step` <= 0 falls back to the cache default (0.05) so the
+  /// key matches ShardedExplainCache's for the same embedding.
+  static uint64_t KeyOf(const std::vector<double>& embedding,
+                        double quant_step);
+
+  /// Owning shard among the *live* shards (first live vnode clockwise), or
+  /// -1 when no shard is live.
+  int Owner(uint64_t key) const;
+
+  /// Owner ignoring liveness — the key's home when every shard is up. Used
+  /// for initial data placement and the stability tests.
+  int StaticOwner(uint64_t key) const;
+
+  /// Up to `max_shards` distinct live shards in ring order from the key:
+  /// the failover chain. Element 0 is Owner(key); later elements are the
+  /// shards the key would re-hash to as earlier ones die.
+  std::vector<int> OwnerChain(uint64_t key, int max_shards) const;
+
+  /// First live shard after `shard` in index order (wrapping), or -1 when
+  /// none other is live. Replication targets use index order, not ring
+  /// order: every shard gets exactly one successor candidate sequence,
+  /// independent of key placement.
+  int NextLiveAfter(int shard) const;
+
+  void SetLive(int shard, bool live);
+  bool IsLive(int shard) const;
+  int NumLive() const;
+  int num_shards() const { return options_.num_shards; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct VNode {
+    uint64_t hash = 0;
+    int shard = -1;
+  };
+
+  /// First vnode at or after `key` on the ring (wrapping).
+  size_t RingLowerBound(uint64_t key) const;
+
+  Options options_;
+  std::vector<VNode> ring_;  // sorted by hash, immutable after construction
+  std::unique_ptr<std::atomic<bool>[]> live_;
+};
+
+}  // namespace htapex
+
+#endif  // HTAPEX_SERVICE_SHARD_ROUTER_H_
