@@ -19,9 +19,19 @@
 // points (shard.kill, shard.stall, replicate.drop) can be armed through
 // the same --faults= spec.
 //
+// Self-healing model lifecycle (src/lifecycle/):
+//   --lifecycle      arm the router's drift-retrain-shadow-swap-rollback
+//                    loop. Interactive queries feed its execution-feedback
+//                    buffer; in --serve mode every shard/service runs its
+//                    own manager. With --data-dir the feedback log persists
+//                    under PATH/lifecycle (per-shard under each shard dir).
+//
 // Commands:
 //   \demo            run three showcase queries
 //   \kb              list knowledge-base entries
+//   \lifecycle       lifecycle stats + deterministic event log
+//   \swap            force a retrain cycle now (shadow-gated hot-swap)
+//   \rollback        roll back to the retained pre-swap snapshot
 //   \report <sql>    full markdown report for one query
 //   \trace [sql]     span tree of the last (or a fresh) request — every
 //                    pipeline stage with its share of end_to_end_ms, plus
@@ -73,6 +83,7 @@
 #include "core/report.h"
 #include "common/string_util.h"
 #include "durable/durable_kb.h"
+#include "lifecycle/model_lifecycle.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "service/explain_service.h"
@@ -83,6 +94,8 @@ namespace {
 using namespace htapex;
 
 double g_trace_log_ms = 0.0;                 // --trace-log threshold
+bool g_lifecycle_enabled = false;            // --lifecycle
+ModelLifecycleManager* g_lifecycle = nullptr;  // interactive-mode manager
 std::shared_ptr<const Trace> g_last_trace;   // \trace without arguments
 TraceMetrics g_trace_metrics;                // feeds \metrics
 uint64_t g_next_trace_id = 0;
@@ -93,6 +106,9 @@ void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
+  }
+  if (g_lifecycle != nullptr) {
+    g_lifecycle->RecordOutcome(result->outcome.plans, result->outcome.faster);
   }
   g_trace_metrics.Record(*trace);
   if (g_trace_log_ms > 0.0 && trace->total_ms() >= g_trace_log_ms) {
@@ -120,11 +136,16 @@ void ExplainOne(HtapExplainer* explainer, const std::string& sql) {
 /// stdin (one per line; ';' suffix tolerated), or the demo set repeated 4x
 /// when stdin is a terminal so the cache has something to hit.
 int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
-             int workers, const char* const* demo, size_t demo_count) {
+             int workers, const std::string& data_dir, const char* const* demo,
+             size_t demo_count) {
   ServiceConfig config;
   config.num_workers = workers;
   config.durable = durable;
   config.slow_trace_ms = g_trace_log_ms;
+  if (g_lifecycle_enabled) {
+    config.lifecycle.enabled = true;
+    if (!data_dir.empty()) config.lifecycle.data_dir = data_dir + "/lifecycle";
+  }
   ExplainService service(explainer, config);
 
   std::vector<std::string> sqls;
@@ -163,6 +184,12 @@ int RunServe(HtapExplainer* explainer, DurableKnowledgeBase* durable,
   }
   std::printf("\n=== service stats ===\n%s\n",
               service.Stats().ToString().c_str());
+  if (ModelLifecycleManager* lifecycle = service.lifecycle()) {
+    std::printf("\n=== lifecycle events ===\n");
+    for (const std::string& event : lifecycle->EventLog()) {
+      std::printf("  %s\n", event.c_str());
+    }
+  }
   std::printf("\n=== metrics (Prometheus text) ===\n%s",
               service.ExpositionText().c_str());
   auto recent = service.RecentTraces();
@@ -187,6 +214,7 @@ int RunServeSharded(const HtapSystem* system, const ExplainerConfig& ec,
   config.faults = ec.faults;
   config.fault_seed = ec.fault_seed;
   config.shard.slow_trace_ms = g_trace_log_ms;
+  config.shard.lifecycle.enabled = g_lifecycle_enabled;
   ShardedExplainService tier(system, ec, config);
   Status st = tier.InitFrom(trained);
   if (!st.ok()) {
@@ -325,6 +353,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       require_recovery = true;
+    } else if (std::strcmp(argv[i], "--lifecycle") == 0) {
+      g_lifecycle_enabled = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       config.faults = argv[i] + 9;
       if (config.faults.empty()) config.faults = "off";
@@ -436,12 +466,39 @@ int main(int argc, char** argv) {
                              workers, data_dir, demo,
                              sizeof(demo) / sizeof(demo[0]));
     }
-    return RunServe(&explainer, durable.get(), workers, demo,
+    return RunServe(&explainer, durable.get(), workers, data_dir, demo,
                     sizeof(demo) / sizeof(demo[0]));
   }
   if (shard_count > 1) {
     std::fprintf(stderr, "--shards applies to --serve mode only\n");
     return 2;
+  }
+
+  // Interactive lifecycle: one manager over the explainer's router; every
+  // query ExplainOne serves feeds its feedback buffer.
+  std::unique_ptr<ModelLifecycleManager> lifecycle;
+  if (g_lifecycle_enabled) {
+    LifecycleOptions lopt;
+    lopt.enabled = true;
+    lopt.seed = config.seed;
+    if (!data_dir.empty()) lopt.data_dir = data_dir + "/lifecycle";
+    lifecycle = std::make_unique<ModelLifecycleManager>(
+        &explainer.mutable_router(), lopt);
+    lifecycle->set_fault_injector(&explainer.faults());
+    lifecycle->set_curation_hook(
+        [&explainer](uint64_t* expired, uint64_t* backfilled) {
+          return explainer.CurateKnowledgeBase(expired, backfilled);
+        });
+    Status opened = lifecycle->Open();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "lifecycle feedback log unavailable: %s\n",
+                   opened.ToString().c_str());
+    }
+    g_lifecycle = lifecycle.get();
+    std::printf("lifecycle armed: serving v%llu crc=%08x\n",
+                static_cast<unsigned long long>(
+                    explainer.router().frozen_version()),
+                explainer.router().frozen_crc());
   }
   bool demo_mode = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
   if (demo_mode || !isatty(0)) {
@@ -496,6 +553,38 @@ int main(int argc, char** argv) {
         } else {
           std::printf("snapshot installed; %s\n",
                       durable->StatsSnapshot().ToString().c_str());
+        }
+      }
+    } else if (sql == "\\lifecycle") {
+      if (lifecycle == nullptr) {
+        std::printf("lifecycle off (run with --lifecycle)\n");
+      } else {
+        std::printf("%s\n", lifecycle->Stats().ToString().c_str());
+        for (const std::string& event : lifecycle->EventLog()) {
+          std::printf("  %s\n", event.c_str());
+        }
+      }
+    } else if (sql == "\\swap") {
+      if (lifecycle == nullptr) {
+        std::printf("lifecycle off (run with --lifecycle)\n");
+      } else {
+        Status st = lifecycle->ForceRetrain();
+        if (st.ok()) st = lifecycle->RunToIdle();
+        if (!st.ok()) {
+          std::printf("swap failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("%s\n", lifecycle->Stats().ToString().c_str());
+        }
+      }
+    } else if (sql == "\\rollback") {
+      if (lifecycle == nullptr) {
+        std::printf("lifecycle off (run with --lifecycle)\n");
+      } else {
+        Status st = lifecycle->ForceRollback();
+        if (!st.ok()) {
+          std::printf("rollback failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("%s\n", lifecycle->Stats().ToString().c_str());
         }
       }
     } else if (sql == "\\trace" || sql.rfind("\\trace ", 0) == 0) {

@@ -16,7 +16,8 @@ bool IsKnownPoint(std::string_view name) {
          name == kFaultWalAppend || name == kFaultWalFsync ||
          name == kFaultSnapshotWrite || name == kFaultSnapshotRename ||
          name == kFaultShardKill || name == kFaultShardStall ||
-         name == kFaultReplicateDrop;
+         name == kFaultReplicateDrop || name == kFaultRetrainFail ||
+         name == kFaultShadowStall || name == kFaultSwapPublish;
 }
 
 uint64_t Mix64(uint64_t x) {

@@ -39,6 +39,16 @@ inline constexpr char kFaultSnapshotRename[] = "snapshot.rename";
 inline constexpr char kFaultShardKill[] = "shard.kill";
 inline constexpr char kFaultShardStall[] = "shard.stall";
 inline constexpr char kFaultReplicateDrop[] = "replicate.drop";
+// Model-lifecycle fault points (src/lifecycle/): retrain.fail aborts a
+// candidate retrain (bad data, OOM, a dead training job — the serving
+// snapshot must keep answering); shadow.stall stalls one shadow-scoring
+// beat (adds simulated latency; too many consecutive stalls abort the
+// shadow run and discard the candidate); swap.publish fails the atomic
+// snapshot publication itself — the old snapshot stays live, version and
+// CRC unchanged, and the candidate is discarded.
+inline constexpr char kFaultRetrainFail[] = "retrain.fail";
+inline constexpr char kFaultShadowStall[] = "shadow.stall";
+inline constexpr char kFaultSwapPublish[] = "swap.publish";
 
 /// Per-point injection parameters.
 struct FaultSpec {

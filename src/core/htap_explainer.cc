@@ -148,6 +148,37 @@ Status HtapExplainer::AddToKnowledgeBase(const std::vector<std::string>& sqls) {
   return Status::OK();
 }
 
+Status HtapExplainer::CurateKnowledgeBase(uint64_t* expired,
+                                          uint64_t* backfilled) {
+  // Collect first, mutate after: Expire/backfill invalidate the Entries()
+  // pointers, and backfilled entries must not be re-validated this pass.
+  struct StaleEntry {
+    int id;
+    std::string sql;
+  };
+  std::vector<StaleEntry> stale;
+  for (const KbEntry* entry : kb_.Entries()) {
+    Result<BoundQuery> bound = system_->Bind(entry->sql);
+    if (!bound.ok()) continue;  // schema drifted from under the entry; skip
+    Result<PlanPair> plans = system_->PlanBoth(*bound);
+    if (!plans.ok()) continue;
+    EngineKind fresh =
+        system_->LatencyMs(plans->tp) <= system_->LatencyMs(plans->ap)
+            ? EngineKind::kTp
+            : EngineKind::kAp;
+    if (fresh != entry->faster) stale.push_back({entry->id, entry->sql});
+  }
+  for (const StaleEntry& entry : stale) {
+    HTAPEX_RETURN_IF_ERROR(kb_.Expire(entry.id));
+    if (expired != nullptr) *expired += 1;
+    // Re-annotate under the current regime: fresh plans, fresh latencies,
+    // fresh expert explanation, fresh embedding from the current router.
+    HTAPEX_RETURN_IF_ERROR(AddToKnowledgeBase({entry.sql}));
+    if (backfilled != nullptr) *backfilled += 1;
+  }
+  return Status::OK();
+}
+
 Status HtapExplainer::InsertWithRetry(KbEntry entry) {
   // Transient (injected) write contention is retried a bounded number of
   // times; each retry is a fresh deterministic draw, so a fixed seed
@@ -240,6 +271,7 @@ std::vector<Result<PreparedQuery>> HtapExplainer::PrepareBatch(
   for (size_t j = 0; j < planned.size(); ++j) {
     PreparedQuery& prepared = *out[planned[j]];
     prepared.embedding = std::move(routed[j].embedding);
+    prepared.p_ap = routed[j].p_ap;
     prepared.encode_ms = per_query_ms;
     // Recorded rather than scoped: the span must carry the same measured
     // value end_to_end_ms() charges as router_encode_ms.

@@ -119,6 +119,10 @@ struct PreparedQuery {
   HtapQueryOutcome outcome;
   std::vector<double> embedding;
   double encode_ms = 0.0;  // measured embedding wall time
+  /// Router verdict from the same frozen forward pass that produced the
+  /// embedding: P(AP faster). The model lifecycle compares it against the
+  /// measured outcome without paying a second inference.
+  double p_ap = 0.5;
 };
 
 /// The paper's contribution, end to end: a RAG-augmented LLM framework that
@@ -143,6 +147,17 @@ class HtapExplainer {
   /// The paper's 20 representative queries: a deterministic selection that
   /// covers the workload's performance-distinction patterns.
   Status BuildDefaultKnowledgeBase();
+
+  /// Drift-triggered knowledge curation: re-plans every live entry's SQL
+  /// under the system's *current* latency model and, where the stored
+  /// faster-engine verdict no longer holds, expires the stale entry and
+  /// backfills a freshly expert-annotated replacement (embedded by the
+  /// current router). Writes to the knowledge base — callers running
+  /// concurrently with retrieval must hold the same exclusive lock as
+  /// IncorporateCorrection (ExplainService's curation hook does). Reports
+  /// how many entries were expired / backfilled; never touches entries
+  /// whose verdicts still hold.
+  Status CurateKnowledgeBase(uint64_t* expired, uint64_t* backfilled);
 
   /// The SQL texts BuildDefaultKnowledgeBase would insert, without
   /// inserting them. The sharded tier uses this to partition the default

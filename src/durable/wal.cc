@@ -247,6 +247,19 @@ Status ApplyWalRecord(const WalRecord& record, KnowledgeBase* kb) {
 Status ReplayWalSegment(const std::string& path, bool truncate_torn_tail,
                         const std::function<Status(const WalRecord&)>& apply,
                         WalReplayStats* stats) {
+  return ReplayWalFrames(
+      path, truncate_torn_tail,
+      [&apply](std::string_view payload) -> Status {
+        Result<WalRecord> record = DecodeWalRecord(payload);
+        if (!record.ok()) return record.status();
+        return apply(*record);
+      },
+      stats);
+}
+
+Status ReplayWalFrames(const std::string& path, bool truncate_torn_tail,
+                       const std::function<Status(std::string_view)>& apply,
+                       WalReplayStats* stats) {
   std::FILE* fp = std::fopen(path.c_str(), "rb");
   if (fp == nullptr) {
     if (errno == ENOENT) return Status::OK();  // nothing logged yet
@@ -286,9 +299,8 @@ Status ReplayWalSegment(const std::string& path, bool truncate_torn_tail,
       bad_suffix = true;
       break;
     }
-    Result<WalRecord> record = DecodeWalRecord(payload);
-    if (!record.ok() || !apply(*record).ok()) {
-      // Undecodable-but-checksummed payload, or a record the current KB
+    if (!apply(payload).ok()) {
+      // Undecodable-but-checksummed payload, or a record the current
       // state rejects: either way the log diverged — stop, keep the prefix.
       stats->corrupt += 1;
       bad_suffix = true;

@@ -107,6 +107,15 @@ Status ReplayWalSegment(const std::string& path, bool truncate_torn_tail,
                         const std::function<Status(const WalRecord&)>& apply,
                         WalReplayStats* stats);
 
+/// Payload-agnostic frame replay: walks the [u32 length][u32 crc][payload]
+/// framing at `path` and hands every intact payload to `apply`, with the
+/// same torn-tail / corruption semantics as ReplayWalSegment (which is
+/// built on this). Non-KB logs that reuse the WAL framing — the lifecycle
+/// feedback log — recover through here with their own payload decoding.
+Status ReplayWalFrames(const std::string& path, bool truncate_torn_tail,
+                       const std::function<Status(std::string_view)>& apply,
+                       WalReplayStats* stats);
+
 /// Applies one decoded WAL record to a knowledge base: the canonical
 /// op → mutation mapping shared by local recovery replay
 /// (DurableKnowledgeBase) and replica-log replay (the sharded tier's

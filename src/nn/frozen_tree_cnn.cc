@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/kernels.h"
 
 namespace htapex {
@@ -25,11 +26,12 @@ void BroadcastBias(const float* bias, float* c, int rows, int cols) {
 
 }  // namespace
 
-FrozenTreeCnn::FrozenTreeCnn(const TreeCnn& master)
+FrozenTreeCnn::FrozenTreeCnn(const TreeCnn& master, uint64_t version)
     : feature_dim_(master.config_.feature_dim),
       conv1_(master.config_.conv1),
       conv2_(master.config_.conv2),
       embed_(master.config_.embed),
+      version_(version),
       ws1_(ToFloat(master.ws1_.v)),
       wl1_(ToFloat(master.wl1_.v)),
       wr1_(ToFloat(master.wr1_.v)),
@@ -41,7 +43,19 @@ FrozenTreeCnn::FrozenTreeCnn(const TreeCnn& master)
       we_(ToFloat(master.we_.v)),
       be_(ToFloat(master.be_.v)),
       wo_(ToFloat(master.wo_.v)),
-      bo_(ToFloat(master.bo_.v)) {}
+      bo_(ToFloat(master.bo_.v)) {
+  crc_ = ComputeCrc();
+}
+
+uint32_t FrozenTreeCnn::ComputeCrc() const {
+  uint32_t crc = 0;
+  for (const std::vector<float>* t :
+       {&ws1_, &wl1_, &wr1_, &b1_, &ws2_, &wl2_, &wr2_, &b2_, &we_, &be_,
+        &wo_, &bo_}) {
+    crc = Crc32(t->data(), t->size() * sizeof(float), crc);
+  }
+  return crc;
+}
 
 size_t FrozenTreeCnn::ByteSize() const {
   size_t n = ws1_.size() + wl1_.size() + wr1_.size() + b1_.size() +

@@ -33,10 +33,21 @@ namespace htapex {
 /// bench_kernels gate hold the snapshot to that.
 class FrozenTreeCnn {
  public:
-  /// Snapshots the master's current weights (float32 copies).
-  explicit FrozenTreeCnn(const TreeCnn& master);
+  /// Snapshots the master's current weights (float32 copies). `version` is
+  /// the publisher's monotone snapshot counter (SmartRouter stamps it); the
+  /// snapshot's CRC32 over every float32 tensor is computed here, so two
+  /// snapshots of bit-identical weights always carry the same CRC — the
+  /// invariant the lifecycle rollback tests pin.
+  explicit FrozenTreeCnn(const TreeCnn& master, uint64_t version = 0);
 
   int pair_embedding_dim() const { return 2 * embed_; }
+
+  /// Monotone publication version stamped by the owning router (0 when the
+  /// snapshot was built outside a publication scheme).
+  uint64_t version() const { return version_; }
+  /// CRC32 over the raw little-endian float32 bytes of every weight tensor,
+  /// in declaration order. Equal weights <=> equal CRC.
+  uint32_t crc() const { return crc_; }
 
   /// Softmax probability that AP is faster; optionally returns the pair
   /// embedding. Same signature/semantics as TreeCnn::PredictApFaster.
@@ -58,10 +69,14 @@ class FrozenTreeCnn {
   size_t ByteSize() const;
 
  private:
+  uint32_t ComputeCrc() const;
+
   int feature_dim_;
   int conv1_;
   int conv2_;
   int embed_;
+  uint64_t version_ = 0;
+  uint32_t crc_ = 0;
   // Same layout as the master tensors, float32.
   std::vector<float> ws1_, wl1_, wr1_, b1_;
   std::vector<float> ws2_, wl2_, wr2_, b2_;

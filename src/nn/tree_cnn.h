@@ -59,6 +59,8 @@ class TreeCnn {
 
   explicit TreeCnn(const Config& config);
 
+  const Config& config() const { return config_; }
+
   /// Dimensions of the pair embedding (2 * embed).
   int pair_embedding_dim() const { return 2 * config_.embed; }
 

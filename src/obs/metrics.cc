@@ -205,6 +205,61 @@ std::string DurabilityStats::ToString() const {
       static_cast<unsigned long long>(gc_files));
 }
 
+std::string LifecycleStats::ToString() const {
+  return StrFormat(
+      "phase=%s v%llu crc=%08x samples=%llu drift=%llu "
+      "retrain(ok=%llu fail=%llu) shadow(runs=%llu rejects=%llu stalls=%llu "
+      "aborts=%llu) swaps=%llu swap_fail=%llu rollbacks=%llu "
+      "kb(expired=%llu backfilled=%llu) acc(serving=%.3f baseline=%.3f "
+      "candidate=%.3f)",
+      phase.empty() ? "-" : phase.c_str(),
+      static_cast<unsigned long long>(active_version),
+      static_cast<unsigned>(active_crc),
+      static_cast<unsigned long long>(feedback_samples),
+      static_cast<unsigned long long>(drift_detections),
+      static_cast<unsigned long long>(retrains),
+      static_cast<unsigned long long>(retrain_failures),
+      static_cast<unsigned long long>(shadow_runs),
+      static_cast<unsigned long long>(shadow_rejects),
+      static_cast<unsigned long long>(shadow_stalls),
+      static_cast<unsigned long long>(shadow_aborts),
+      static_cast<unsigned long long>(swaps),
+      static_cast<unsigned long long>(swap_failures),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<unsigned long long>(kb_expired),
+      static_cast<unsigned long long>(kb_backfilled), serving_accuracy,
+      baseline_accuracy, candidate_accuracy);
+}
+
+LifecycleStats MergeLifecycleStats(const LifecycleStats& a,
+                                   const LifecycleStats& b) {
+  LifecycleStats m;
+  m.feedback_samples = a.feedback_samples + b.feedback_samples;
+  m.feedback_wal_failures =
+      a.feedback_wal_failures + b.feedback_wal_failures;
+  m.drift_detections = a.drift_detections + b.drift_detections;
+  m.retrains = a.retrains + b.retrains;
+  m.retrain_failures = a.retrain_failures + b.retrain_failures;
+  m.shadow_runs = a.shadow_runs + b.shadow_runs;
+  m.shadow_rejects = a.shadow_rejects + b.shadow_rejects;
+  m.shadow_stalls = a.shadow_stalls + b.shadow_stalls;
+  m.shadow_aborts = a.shadow_aborts + b.shadow_aborts;
+  m.swaps = a.swaps + b.swaps;
+  m.swap_failures = a.swap_failures + b.swap_failures;
+  m.rollbacks = a.rollbacks + b.rollbacks;
+  m.kb_expired = a.kb_expired + b.kb_expired;
+  m.kb_backfilled = a.kb_backfilled + b.kb_backfilled;
+  const LifecycleStats& newest =
+      b.active_version > a.active_version ? b : a;
+  m.active_version = newest.active_version;
+  m.active_crc = newest.active_crc;
+  m.serving_accuracy = newest.serving_accuracy;
+  m.baseline_accuracy = newest.baseline_accuracy;
+  m.candidate_accuracy = newest.candidate_accuracy;
+  m.phase = a.phase == b.phase ? a.phase : std::string();
+  return m;
+}
+
 ServiceStats SnapshotMetrics(const ServiceMetrics& metrics) {
   ServiceStats s;
   s.requests = metrics.requests.Value();
@@ -281,6 +336,15 @@ ServiceStats MergeServiceStats(const ServiceStats& a, const ServiceStats& b) {
   };
   m.durability = merge_dur(a.durability, b.durability);
 
+  m.lifecycle_enabled = a.lifecycle_enabled || b.lifecycle_enabled;
+  if (a.lifecycle_enabled && b.lifecycle_enabled) {
+    m.lifecycle = MergeLifecycleStats(a.lifecycle, b.lifecycle);
+  } else if (a.lifecycle_enabled) {
+    m.lifecycle = a.lifecycle;
+  } else if (b.lifecycle_enabled) {
+    m.lifecycle = b.lifecycle;
+  }
+
   m.encode = LatencyHistogram::Merge(a.encode, b.encode);
   m.cache_lookup = LatencyHistogram::Merge(a.cache_lookup, b.cache_lookup);
   m.kb_search = LatencyHistogram::Merge(a.kb_search, b.kb_search);
@@ -323,6 +387,9 @@ std::string ServiceStats::ToString() const {
   out += "resilience: " + resilience.ToString() + "\n";
   if (durability_enabled) {
     out += "durability: " + durability.ToString() + "\n";
+  }
+  if (lifecycle_enabled) {
+    out += "lifecycle: " + lifecycle.ToString() + "\n";
   }
   out += HistLine("encode", encode) + "\n";
   out += HistLine("cache_lookup", cache_lookup) + "\n";

@@ -187,6 +187,43 @@ struct DurabilityStats {
 
 DurabilityStats SnapshotDurability(const DurabilityMetrics& metrics);
 
+/// Point-in-time view of one ModelLifecycleManager (src/lifecycle/): the
+/// retrain → shadow → swap → watch loop's counters plus the identity of the
+/// serving snapshot. Produced under the manager's lock (plain values, no
+/// atomics); merged across shards by MergeLifecycleStats.
+struct LifecycleStats {
+  std::string phase;             // current state-machine phase name
+  uint64_t active_version = 0;   // serving frozen-snapshot version
+  uint32_t active_crc = 0;       // serving frozen-snapshot CRC32
+  uint64_t feedback_samples = 0; // execution-feedback samples recorded
+  uint64_t feedback_wal_failures = 0;  // feedback appends lost (wedged log)
+  uint64_t drift_detections = 0;
+  uint64_t retrains = 0;           // candidate retrains completed
+  uint64_t retrain_failures = 0;   // retrain.fail aborts
+  uint64_t shadow_runs = 0;        // shadow scorings completed
+  uint64_t shadow_rejects = 0;     // candidates rejected by the gate
+  uint64_t shadow_stalls = 0;      // shadow.stall beats absorbed
+  uint64_t shadow_aborts = 0;      // shadow runs abandoned (too many stalls)
+  uint64_t swaps = 0;              // snapshots published over live traffic
+  uint64_t swap_failures = 0;      // swap.publish aborts
+  uint64_t rollbacks = 0;          // regressions rolled back (incl. manual)
+  uint64_t kb_expired = 0;         // stale KB entries expired by curation
+  uint64_t kb_backfilled = 0;      // entries re-annotated and re-inserted
+  double serving_accuracy = 0.0;   // latest windowed serving accuracy
+  double baseline_accuracy = 0.0;  // high-water accuracy since last swap
+  double candidate_accuracy = 0.0; // latest shadow-scored candidate
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Fleet aggregation: counters sum; the snapshot identity (version/CRC) and
+/// accuracies follow the input with the highest version (per-shard routers
+/// version independently — the merged identity is "the newest anywhere");
+/// phase is kept only when both agree.
+LifecycleStats MergeLifecycleStats(const LifecycleStats& a,
+                                   const LifecycleStats& b);
+
 /// All service-level metrics, updated by ExplainService workers.
 struct ServiceMetrics {
   Counter requests;       // submitted to the service
@@ -231,6 +268,11 @@ struct ServiceStats {
   /// DurableKnowledgeBase; all-zero (and not printed) otherwise.
   bool durability_enabled = false;
   DurabilityStats durability;
+
+  /// Model-lifecycle counters when the service runs a ModelLifecycleManager
+  /// (ServiceConfig::lifecycle.enabled); all-zero (not printed) otherwise.
+  bool lifecycle_enabled = false;
+  LifecycleStats lifecycle;
 
   LatencyHistogram::Snapshot encode;
   LatencyHistogram::Snapshot cache_lookup;

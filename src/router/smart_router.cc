@@ -16,7 +16,27 @@ SmartRouter::SmartRouter(uint64_t seed) : seed_(seed) {
 }
 
 void SmartRouter::RefreshFrozen() {
-  frozen_ = std::make_unique<FrozenTreeCnn>(*cnn_);
+  // Build the snapshot off to the side, then publish it with one pointer
+  // swap under the handoff mutex. Readers that grabbed the previous
+  // snapshot keep it alive through their shared_ptr; nobody ever sees a
+  // half-copied tensor.
+  auto next =
+      std::make_shared<const FrozenTreeCnn>(*cnn_, ++next_frozen_version_);
+  std::lock_guard<std::mutex> lock(frozen_mu_);
+  frozen_ = std::move(next);
+}
+
+Status SmartRouter::AdoptMaster(const TreeCnn& master) {
+  const TreeCnn::Config& have = cnn_->config();
+  const TreeCnn::Config& want = master.config();
+  if (want.feature_dim != have.feature_dim || want.conv1 != have.conv1 ||
+      want.conv2 != have.conv2 || want.embed != have.embed) {
+    return Status::InvalidArgument(
+        "AdoptMaster: architecture mismatch; serving model unchanged");
+  }
+  *cnn_ = master;
+  RefreshFrozen();
+  return Status::OK();
 }
 
 void SmartRouter::Quantize(std::vector<double>* embedding) const {
@@ -83,8 +103,8 @@ void SmartRouter::CloneWeightsFrom(const SmartRouter& other) {
 }
 
 double SmartRouter::ApProbability(const PlanPair& plans) const {
-  return frozen_->PredictApFaster(FeaturizePlan(plans.tp),
-                                  FeaturizePlan(plans.ap));
+  return frozen_snapshot()->PredictApFaster(FeaturizePlan(plans.tp),
+                                            FeaturizePlan(plans.ap));
 }
 
 EngineKind SmartRouter::Route(const PlanPair& plans) const {
@@ -106,7 +126,9 @@ std::vector<RoutedPair> SmartRouter::RouteBatch(
   }
   std::vector<double> p_ap;
   std::vector<std::vector<double>> embeddings;
-  frozen_->PredictBatch(tps, aps, &p_ap, &embeddings);
+  // One load for the whole batch: every pair in this call is scored by the
+  // same snapshot even if a hot-swap publishes mid-call.
+  frozen_snapshot()->PredictBatch(tps, aps, &p_ap, &embeddings);
   for (size_t i = 0; i < pairs.size(); ++i) {
     out[i].p_ap = p_ap[i];
     out[i].route = p_ap[i] >= 0.5 ? EngineKind::kAp : EngineKind::kTp;
@@ -123,7 +145,7 @@ std::vector<double> SmartRouter::Embed(const PlanPair& plans) const {
 std::vector<double> SmartRouter::EmbedFeatures(
     const PlanTreeFeatures& tp, const PlanTreeFeatures& ap) const {
   std::vector<double> embedding;
-  frozen_->PredictApFaster(tp, ap, &embedding);
+  frozen_snapshot()->PredictApFaster(tp, ap, &embedding);
   Quantize(&embedding);
   return embedding;
 }
@@ -144,9 +166,10 @@ std::vector<double> SmartRouter::EmbedMaster(const PlanPair& plans) const {
 double SmartRouter::EvaluateAccuracy(
     const std::vector<PairExample>& dataset) const {
   if (dataset.empty()) return 0.0;
+  std::shared_ptr<const FrozenTreeCnn> frozen = frozen_snapshot();
   int correct = 0;
   for (const PairExample& ex : dataset) {
-    double p = frozen_->PredictApFaster(ex.tp, ex.ap);
+    double p = frozen->PredictApFaster(ex.tp, ex.ap);
     int pred = p >= 0.5 ? 1 : 0;
     if (pred == ex.label) ++correct;
   }

@@ -2,6 +2,7 @@
 #define HTAPEX_ROUTER_SMART_ROUTER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,20 @@ struct RoutedPair {
 /// every weight change. The `*Master` variants route/embed through the
 /// double master — they exist so tests and bench_kernels can assert the
 /// parity contract (identical verdicts and top-K, embeddings within 1e-4).
+///
+/// Concurrency contract (RCU-style snapshot publication): readers
+/// (RouteBatch, ApProbability, Embed*, EvaluateAccuracy) grab the frozen
+/// shared_ptr once and run the whole call against that immutable snapshot —
+/// an in-flight call never observes torn weights, no matter how many
+/// publications race past it. Publication (RefreshFrozen, via
+/// Train/Load/CloneWeightsFrom/AdoptMaster) builds the snapshot off to the
+/// side — stamped with a monotone version and a CRC32 over its tensors —
+/// and swaps the pointer under a mutex whose critical section is just that
+/// pointer copy, so the handoff is a provable happens-before edge (a plain
+/// atomic<shared_ptr> publication is flagged by TSan: libstdc++'s load()
+/// unlocks its spinlock with relaxed ordering). Master-side mutators are
+/// NOT thread-safe against each other; the lifecycle manager serializes
+/// them.
 class SmartRouter {
  public:
   explicit SmartRouter(uint64_t seed = 7);
@@ -86,7 +101,7 @@ class SmartRouter {
   /// Double-precision master footprint (the Save/Load format).
   size_t model_bytes() const { return cnn_->ByteSize(); }
   /// Float32 serving-snapshot footprint (the paper's < 1 MB budget).
-  size_t frozen_model_bytes() const { return frozen_->ByteSize(); }
+  size_t frozen_model_bytes() const { return frozen_snapshot()->ByteSize(); }
   Status Save(const std::string& path) const { return cnn_->Save(path); }
   Status Load(const std::string& path);
 
@@ -96,13 +111,40 @@ class SmartRouter {
   /// embed identically and the consistent-hash key is shard-independent.
   void CloneWeightsFrom(const SmartRouter& other);
 
+  /// The live serving snapshot. Safe to call from any thread; the returned
+  /// snapshot stays valid (and immutable) for as long as the caller holds
+  /// it, even across concurrent publications.
+  std::shared_ptr<const FrozenTreeCnn> frozen_snapshot() const {
+    std::lock_guard<std::mutex> lock(frozen_mu_);
+    return frozen_;
+  }
+  /// Monotone publication counter of the live snapshot (1 = the snapshot
+  /// frozen at construction).
+  uint64_t frozen_version() const { return frozen_snapshot()->version(); }
+  /// CRC32 of the live snapshot's float32 tensors (see FrozenTreeCnn::crc).
+  uint32_t frozen_crc() const { return frozen_snapshot()->crc(); }
+
+  /// Retains a full copy of the master (weights + optimizer state) for
+  /// later restoration — the lifecycle manager's rollback keepsake.
+  std::unique_ptr<TreeCnn> CloneMaster() const {
+    return std::make_unique<TreeCnn>(*cnn_);
+  }
+  /// Adopts `master`'s weights (a validated candidate, or a retained
+  /// pre-swap copy on rollback) and atomically publishes a fresh frozen
+  /// snapshot. Fails on architecture mismatch without touching the serving
+  /// model. Restoring a retained master republishes bit-identical tensors:
+  /// the new snapshot's CRC equals the retained snapshot's CRC.
+  Status AdoptMaster(const TreeCnn& master);
+
  private:
-  /// Re-snapshots the frozen model from the master weights.
+  /// Atomically publishes a fresh frozen snapshot of the master weights.
   void RefreshFrozen();
   void Quantize(std::vector<double>* embedding) const;
 
   std::unique_ptr<TreeCnn> cnn_;
-  std::unique_ptr<FrozenTreeCnn> frozen_;
+  mutable std::mutex frozen_mu_;  // guards only the pointer handoff below
+  std::shared_ptr<const FrozenTreeCnn> frozen_;
+  uint64_t next_frozen_version_ = 0;
   uint64_t seed_;
   double quant_step_ = 0.0;
 };

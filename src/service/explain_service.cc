@@ -29,6 +29,26 @@ ExplainService::ExplainService(HtapExplainer* explainer, ServiceConfig config)
   if (config_.tracing && config_.trace_ring > 0) {
     trace_ring_ = std::make_unique<TraceRing>(config_.trace_ring);
   }
+  if (config_.lifecycle.enabled) {
+    lifecycle_ = std::make_unique<ModelLifecycleManager>(
+        &explainer_->mutable_router(), config_.lifecycle);
+    lifecycle_->set_fault_injector(&explainer_->faults());
+    // Curation writes to the knowledge base, so it takes the same
+    // exclusive lock as IncorporateCorrection — in-flight retrievals
+    // drain first, new ones wait out the curation pass.
+    lifecycle_->set_curation_hook([this](uint64_t* expired,
+                                         uint64_t* backfilled) {
+      std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
+      return explainer_->CurateKnowledgeBase(expired, backfilled);
+    });
+    Status opened = lifecycle_->Open();
+    if (!opened.ok()) {
+      // A dead feedback log never stops serving: the lifecycle runs
+      // memory-only and the failure is visible in its stats.
+      HTAPEX_LOG(Warning) << "lifecycle feedback log unavailable: "
+                          << opened.message();
+    }
+  }
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -218,6 +238,20 @@ void ExplainService::WorkerLoop() {
     if (!admitted.empty()) {
       std::vector<Result<PreparedQuery>> prepared =
           explainer_->PrepareBatch(sqls, trace_ptrs);
+      if (lifecycle_ != nullptr) {
+        // Execution feedback: the measured outcome plus the router verdict
+        // from the same frozen pass that served the request. Recorded
+        // before ProcessPrepared consumes the prepared queries; only
+        // touches the lifecycle's internally-locked buffer, so the drain
+        // never waits behind a retrain cycle.
+        for (size_t j = 0; j < admitted.size(); ++j) {
+          if (prepared[j].ok()) {
+            lifecycle_->RecordOutcome(prepared[j]->outcome.plans,
+                                      prepared[j]->outcome.faster,
+                                      prepared[j]->p_ap);
+          }
+        }
+      }
       for (size_t j = 0; j < admitted.size(); ++j) {
         const size_t i = admitted[j];
         double left = 0.0;
@@ -249,6 +283,10 @@ void ExplainService::WorkerLoop() {
       metrics_.completed.Inc();
       batch[i].promise.set_value(std::move(*results[i]));
     }
+    // Advance the lifecycle at most one step per drain (on top of its own
+    // sample-count cadence). try-locked: if another worker is mid-cycle
+    // this drain skips rather than waits.
+    if (lifecycle_ != nullptr) lifecycle_->MaybeTick();
   }
 }
 
@@ -282,6 +320,12 @@ Result<ExplainResult> ExplainService::ProcessPrepared(
   }
   PreparedQuery prepared = std::move(prepared_or).value();
   metrics_.encode.Record(prepared.encode_ms);
+  if (lifecycle_ != nullptr && trace != nullptr) {
+    // Which snapshot generation served this request — post-incident trace
+    // reads can line a latency shift up against a hot-swap boundary.
+    trace->Event("router_version",
+                 "v" + std::to_string(explainer_->router().frozen_version()));
+  }
 
   double lookup_ms = 0.0;
   if (config_.cache_enabled) {
@@ -404,6 +448,10 @@ ServiceStats ExplainService::Stats() const {
     stats.durability_enabled = true;
     stats.durability = config_.durable->StatsSnapshot();
   }
+  if (lifecycle_ != nullptr) {
+    stats.lifecycle_enabled = true;
+    stats.lifecycle = lifecycle_->Stats();
+  }
   return stats;
 }
 
@@ -495,6 +543,53 @@ std::string ExplainService::ExpositionText() const {
               d.recoveries);
     b.Counter("htapex_replayed_records_total",
               "WAL records applied during recovery", d.replayed_records);
+  }
+
+  if (s.lifecycle_enabled) {
+    const LifecycleStats& l = s.lifecycle;
+    b.Gauge("htapex_lifecycle_phase",
+            "Current lifecycle phase (constant 1, labeled)", 1.0,
+            {{"phase", l.phase}});
+    b.Gauge("htapex_lifecycle_active_version",
+            "Serving frozen-snapshot version",
+            static_cast<double>(l.active_version));
+    b.Counter("htapex_lifecycle_feedback_samples_total",
+              "Execution-feedback samples recorded", l.feedback_samples);
+    b.Counter("htapex_lifecycle_feedback_wal_failures_total",
+              "Feedback appends lost to a wedged log",
+              l.feedback_wal_failures);
+    const char* kLifecycleHelp = "Model-lifecycle events by kind";
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.drift_detections, {{"event", "drift_detected"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp, l.retrains,
+              {{"event", "retrain"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.retrain_failures, {{"event", "retrain_failure"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp, l.shadow_runs,
+              {{"event", "shadow_run"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.shadow_rejects, {{"event", "shadow_reject"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.shadow_stalls, {{"event", "shadow_stall"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.shadow_aborts, {{"event", "shadow_abort"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp, l.swaps,
+              {{"event", "swap"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.swap_failures, {{"event", "swap_failure"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp, l.rollbacks,
+              {{"event", "rollback"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp, l.kb_expired,
+              {{"event", "kb_expired"}});
+    b.Counter("htapex_lifecycle_events_total", kLifecycleHelp,
+              l.kb_backfilled, {{"event", "kb_backfilled"}});
+    const char* kAccuracyHelp = "Windowed router accuracy by series";
+    b.Gauge("htapex_lifecycle_accuracy", kAccuracyHelp, l.serving_accuracy,
+            {{"series", "serving"}});
+    b.Gauge("htapex_lifecycle_accuracy", kAccuracyHelp, l.baseline_accuracy,
+            {{"series", "baseline"}});
+    b.Gauge("htapex_lifecycle_accuracy", kAccuracyHelp, l.candidate_accuracy,
+            {{"series", "candidate"}});
   }
 
   // Kernel dispatch: which SIMD backend is live (constant 1 gauge, labeled

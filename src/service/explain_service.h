@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/htap_explainer.h"
+#include "lifecycle/model_lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/explain_cache.h"
@@ -60,6 +61,16 @@ struct ServiceConfig {
   /// durability counters, and Shutdown() installs a final snapshot so a
   /// clean restart recovers without replaying the log. nullptr disables.
   DurableKnowledgeBase* durable = nullptr;
+  /// Self-healing model lifecycle (src/lifecycle/): when enabled, every
+  /// served query's measured outcome feeds a drift detector over the
+  /// router's live accuracy; drift triggers a background candidate
+  /// retrain, shadow validation against the serving snapshot, an atomic
+  /// hot-swap, a post-swap watch with automatic rollback — and, by
+  /// default, knowledge-base curation (stale entries expired and
+  /// backfilled under the exclusive KB lock). Off by default: the
+  /// lifecycle records nothing and serving is byte-for-byte the
+  /// pre-lifecycle pipeline.
+  LifecycleOptions lifecycle;
   /// Identity of this service within a sharded tier (sharded_service.h), or
   /// -1 standalone. A non-negative id is attached to every kUnavailable
   /// this service emits on its shutdown/orphan paths, so the shard router
@@ -159,6 +170,12 @@ class ExplainService {
 
   const ServiceConfig& config() const { return config_; }
 
+  /// The self-healing model lifecycle, or nullptr when disabled. Exposed
+  /// for ticking from a sim-clock driver (the sharded tier's heartbeat),
+  /// manual \swap / \rollback CLI verbs, and test orchestration.
+  ModelLifecycleManager* lifecycle() { return lifecycle_.get(); }
+  const ModelLifecycleManager* lifecycle() const { return lifecycle_.get(); }
+
  private:
   struct Request {
     std::string sql;
@@ -191,6 +208,7 @@ class ExplainService {
   ServiceMetrics metrics_;
   TraceMetrics trace_metrics_;
   std::unique_ptr<TraceRing> trace_ring_;  // null when disabled
+  std::unique_ptr<ModelLifecycleManager> lifecycle_;  // null when disabled
   std::atomic<uint64_t> next_trace_id_{0};
 
   /// Readers: ExplainPrepared. Writer: IncorporateCorrection.

@@ -220,6 +220,12 @@ Status ShardedExplainService::BuildShard(
   ServiceConfig sc = config_.shard;
   sc.shard_id = shard;
   sc.durable = inc->durable.get();
+  if (sc.lifecycle.enabled && !config_.data_dir.empty()) {
+    // Each shard heals its own router against its own traffic: private
+    // feedback log under the shard directory, so a killed shard's revival
+    // recovers its drift history along with its KB.
+    sc.lifecycle.data_dir = ShardDir(shard) + "/lifecycle";
+  }
   inc->service = std::make_unique<ExplainService>(inc->explainer.get(), sc);
   shards_[static_cast<size_t>(shard)]->inc.store(std::move(inc));
   return Status::OK();
@@ -665,6 +671,20 @@ void ShardedExplainService::Heartbeat() {
       probe_streak_[s] = 0;
     }
   }
+  if (config_.shard.lifecycle.enabled) {
+    // The heartbeat is the tier's sim-clock driver, so it also advances
+    // each live shard's model lifecycle one step per beat — drift checks,
+    // retrains, shadow scoring and watch verdicts all progress on beats,
+    // deterministically for a single-threaded caller. The incarnation
+    // shared_ptr keeps the service alive across a concurrent kill.
+    for (int i = 0; i < config_.num_shards; ++i) {
+      auto inc = shards_[static_cast<size_t>(i)]->inc.load();
+      if (inc == nullptr) continue;
+      if (ModelLifecycleManager* lifecycle = inc->service->lifecycle()) {
+        lifecycle->Tick();
+      }
+    }
+  }
 }
 
 ShardHealth ShardedExplainService::HealthOf(int shard) const {
@@ -771,6 +791,36 @@ std::string ShardedExplainService::ExpositionText() const {
             s.failover.replicate_drops, {{"event", "dropped"}});
   b.Counter("htapex_replication_events_total", kReplHelp,
             s.failover.replicate_aborts, {{"event", "aborted"}});
+
+  if (s.merged.lifecycle_enabled) {
+    const LifecycleStats& l = s.merged.lifecycle;
+    const char* kLifecycleHelp =
+        "Model-lifecycle events summed across shards";
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.drift_detections, {{"event", "drift_detected"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.retrains, {{"event", "retrain"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.retrain_failures, {{"event", "retrain_failure"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.shadow_rejects, {{"event", "shadow_reject"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp, l.swaps,
+              {{"event", "swap"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.swap_failures, {{"event", "swap_failure"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.rollbacks, {{"event", "rollback"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.kb_expired, {{"event", "kb_expired"}});
+    b.Counter("htapex_tier_lifecycle_events_total", kLifecycleHelp,
+              l.kb_backfilled, {{"event", "kb_backfilled"}});
+    b.Counter("htapex_tier_lifecycle_feedback_samples_total",
+              "Execution-feedback samples recorded across shards",
+              l.feedback_samples);
+    b.Gauge("htapex_tier_lifecycle_max_version",
+            "Highest serving snapshot version on any shard",
+            static_cast<double>(l.active_version));
+  }
 
   b.Gauge("htapex_live_shards", "Shards currently serving on the ring",
           static_cast<double>(s.live_shards));

@@ -3,11 +3,15 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "nn/frozen_tree_cnn.h"
 #include "nn/tree_cnn.h"
+#include "router/plan_featurizer.h"
+#include "router/smart_router.h"
 
 namespace htapex {
 namespace {
@@ -282,6 +286,96 @@ TEST(TreeCnnPropertyTest, SingleNodeTreesWork) {
   t.right = {-1};
   double p = cnn.PredictApFaster(t, t);
   EXPECT_TRUE(std::isfinite(p));
+}
+
+// --- frozen-snapshot identity (version + CRC): the contract the model
+// lifecycle's hot-swap and rollback are built on ------------------------
+
+TEST(FrozenCrcTest, EqualWeightsHashEqualAcrossRefreezes) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  Rng rng(12);
+  PairExample ex = RandomExample(&rng, 6, 1);
+  for (int step = 0; step < 20; ++step) cnn.TrainBatch({&ex}, 1e-2);
+  // Two snapshots of the same master: distinct versions, identical CRC —
+  // the CRC identifies the weights, the version identifies the publication.
+  FrozenTreeCnn first(cnn, 1);
+  FrozenTreeCnn second(cnn, 2);
+  EXPECT_EQ(first.version(), 1u);
+  EXPECT_EQ(second.version(), 2u);
+  EXPECT_NE(first.crc(), 0u);
+  EXPECT_EQ(first.crc(), second.crc());
+}
+
+TEST(FrozenCrcTest, CrcChangesWhenWeightsChange) {
+  TreeCnn::Config config;
+  config.feature_dim = 6;
+  TreeCnn cnn(config);
+  FrozenTreeCnn before(cnn, 1);
+  Rng rng(13);
+  PairExample ex = RandomExample(&rng, 6, 1);
+  cnn.TrainBatch({&ex}, 1e-2);  // one gradient step is enough
+  FrozenTreeCnn after(cnn, 2);
+  EXPECT_NE(before.crc(), after.crc());
+}
+
+TEST(FrozenCrcTest, RollbackRestoresBitIdenticalFrozenWeights) {
+  SmartRouter router(7);
+  Rng rng(14);
+  std::vector<PairExample> data;
+  for (int i = 0; i < 32; ++i) {
+    data.push_back(RandomExample(&rng, kPlanFeatureDim, i % 2));
+  }
+  router.Train(data, 10);
+  // Retain the serving weights (the lifecycle manager's keepsake), then
+  // diverge the master with more training.
+  std::unique_ptr<TreeCnn> retained = router.CloneMaster();
+  uint64_t version_before = router.frozen_version();
+  uint32_t crc_before = router.frozen_crc();
+  router.Train(data, 10);
+  ASSERT_NE(router.frozen_crc(), crc_before);
+  // Rollback: a fresh publication (monotone version) whose float32 tensors
+  // hash back to the exact pre-divergence CRC — bit-identical weights.
+  ASSERT_TRUE(router.AdoptMaster(*retained).ok());
+  EXPECT_GT(router.frozen_version(), version_before);
+  EXPECT_EQ(router.frozen_crc(), crc_before);
+  PairExample probe = RandomExample(&rng, kPlanFeatureDim, 0);
+  EXPECT_DOUBLE_EQ(router.frozen_snapshot()->PredictApFaster(probe.tp, probe.ap),
+                   FrozenTreeCnn(*retained, 0).PredictApFaster(probe.tp, probe.ap));
+}
+
+TEST(FrozenCrcTest, CorruptCandidateLoadLeavesServingSnapshotUntouched) {
+  const std::string path = ::testing::TempDir() + "router_corrupt_cand.bin";
+  SmartRouter router(7);
+  ASSERT_TRUE(router.Save(path).ok());
+  std::string bytes = ReadFileOrDie(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  WriteFileOrDie(path, bytes);
+  uint64_t version_before = router.frozen_version();
+  uint32_t crc_before = router.frozen_crc();
+  // A corrupt candidate must be rejected without republishing anything:
+  // same snapshot version, same CRC, still answering.
+  EXPECT_FALSE(router.Load(path).ok());
+  EXPECT_EQ(router.frozen_version(), version_before);
+  EXPECT_EQ(router.frozen_crc(), crc_before);
+  Rng rng(15);
+  PairExample probe = RandomExample(&rng, kPlanFeatureDim, 0);
+  EXPECT_TRUE(std::isfinite(
+      router.frozen_snapshot()->PredictApFaster(probe.tp, probe.ap)));
+  std::remove(path.c_str());
+}
+
+TEST(FrozenCrcTest, AdoptMasterRejectsArchitectureMismatch) {
+  SmartRouter router(7);
+  uint32_t crc_before = router.frozen_crc();
+  TreeCnn::Config other;
+  other.feature_dim = 4;  // not the router's plan-feature width
+  TreeCnn misfit(other);
+  Status status = router.AdoptMaster(misfit);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(router.frozen_crc(), crc_before);
 }
 
 }  // namespace
