@@ -22,6 +22,10 @@ class ApPlanBuilder {
   Result<PhysicalPlan> Build() {
     std::unique_ptr<PlanNode> root;
     HTAPEX_ASSIGN_OR_RETURN(root, BuildJoinTree());
+    if (query_.num_tables() > 1 &&
+        ApplyPredicateTransfer(query_, est_, params_.sift, root.get()) > 0) {
+      RecostJoinTree(root.get());
+    }
     HTAPEX_ASSIGN_OR_RETURN(root, AddAggregation(std::move(root)));
     HTAPEX_ASSIGN_OR_RETURN(root, AddOrderLimitProject(std::move(root)));
     root->total_cost += params_.startup;
@@ -65,9 +69,81 @@ class ApPlanBuilder {
   Result<std::unique_ptr<PlanNode>> BuildJoinTree() {
     const int n = query_.num_tables();
     std::vector<std::unique_ptr<PlanNode>> scans(static_cast<size_t>(n));
-    std::vector<double> rows(static_cast<size_t>(n));
     for (int t = 0; t < n; ++t) {
       scans[static_cast<size_t>(t)] = BuildScan(t);
+    }
+    // Bitset DP is exponential in table count; 16 tables = 65536 masks is
+    // the hard ceiling regardless of the configured threshold.
+    if (params_.enable_dp && n > 1 &&
+        n <= std::min(params_.dp_table_threshold, 16)) {
+      return BuildJoinTreeDp(std::move(scans));
+    }
+    return BuildJoinTreeGreedy(std::move(scans));
+  }
+
+  /// Hash join node over `probe` and `build` along `edge`. `out_rows` is the
+  /// caller's output estimate (greedy: incremental, DP: closed form) with
+  /// the edge's extra conjuncts already applied.
+  std::unique_ptr<PlanNode> MakeHashJoin(std::unique_ptr<PlanNode> probe,
+                                         std::unique_ptr<PlanNode> build,
+                                         const std::set<int>& probe_tables,
+                                         const JoinEdge& edge,
+                                         double out_rows) {
+    auto join = std::make_unique<PlanNode>(PlanOp::kHashJoin);
+    if (edge.hash_conjunct >= 0) {
+      const ConjunctInfo& jp =
+          query_.conjuncts[static_cast<size_t>(edge.hash_conjunct)];
+      // left = probe side, right = build side.
+      if (probe_tables.count(jp.left_table) > 0) {
+        join->left_key = jp.left_column->Clone();
+        join->right_key = jp.right_column->Clone();
+      } else {
+        join->left_key = jp.right_column->Clone();
+        join->right_key = jp.left_column->Clone();
+      }
+    }
+    for (int ci : edge.extra_equi) {
+      join->predicates.push_back(
+          query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
+    }
+    for (int ci : edge.residuals) {
+      join->predicates.push_back(
+          query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
+    }
+    join->estimated_rows = std::max(out_rows, 1.0);
+    join->total_cost = probe->total_cost + build->total_cost +
+                       build->estimated_rows * params_.hash_build_row +
+                       probe->estimated_rows * params_.hash_probe_row +
+                       join->estimated_rows * params_.output_row;
+    join->children.push_back(std::move(probe));
+    join->children.push_back(std::move(build));
+    return join;
+  }
+
+  /// Output estimate of joining `probe_rows` x `build_rows` along `edge`:
+  /// JoinOutputRows of the hash conjunct, times the selectivity of the
+  /// extra equi conjuncts and residual filters attached to the same node
+  /// (historically those were attached as predicates but never reflected in
+  /// estimated_rows, so multi-conjunct joins were systematically
+  /// over-estimated).
+  double EdgeOutputRows(const JoinEdge& edge, double probe_rows,
+                        double build_rows) const {
+    double out;
+    if (edge.hash_conjunct >= 0) {
+      out = est_.JoinOutputRows(
+          query_, query_.conjuncts[static_cast<size_t>(edge.hash_conjunct)],
+          probe_rows, build_rows);
+    } else {
+      out = probe_rows * build_rows;
+    }
+    return std::max(out * edge.extra_selectivity, 1.0);
+  }
+
+  Result<std::unique_ptr<PlanNode>> BuildJoinTreeGreedy(
+      std::vector<std::unique_ptr<PlanNode>> scans) {
+    const int n = query_.num_tables();
+    std::vector<double> rows(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
       rows[static_cast<size_t>(t)] = scans[static_cast<size_t>(t)]->estimated_rows;
     }
 
@@ -86,76 +162,188 @@ class ApPlanBuilder {
 
     while (static_cast<int>(joined.size()) < n) {
       int best_t = -1;
-      int best_ci = -1;
       double best_out = 0;
       bool best_connected = false;
+      JoinEdge best_edge;
       for (int t = 0; t < n; ++t) {
         if (joined.count(t) > 0) continue;
-        std::vector<int> jcs = JoinConjunctsBetween(query_, joined, t);
-        bool connected = !jcs.empty();
-        double out;
-        int jci = -1;
-        if (connected) {
-          jci = jcs[0];
-          out = est_.JoinOutputRows(query_,
-                                    query_.conjuncts[static_cast<size_t>(jci)],
-                                    current_rows, rows[static_cast<size_t>(t)]);
-        } else {
-          out = current_rows * rows[static_cast<size_t>(t)];
-        }
+        JoinEdge edge = AnalyzeJoinEdge(query_, est_, joined, {t});
+        bool connected = edge.hash_conjunct >= 0;
+        double out =
+            EdgeOutputRows(edge, current_rows, rows[static_cast<size_t>(t)]);
         bool better = best_t < 0 || (connected && !best_connected) ||
                       (connected == best_connected && out < best_out);
         if (better) {
           best_t = t;
-          best_ci = jci;
           best_out = out;
           best_connected = connected;
+          best_edge = edge;
         }
       }
 
-      double build_rows = rows[static_cast<size_t>(best_t)];
-      auto join = std::make_unique<PlanNode>(PlanOp::kHashJoin);
-      const ConjunctInfo* jp =
-          best_ci >= 0 ? &query_.conjuncts[static_cast<size_t>(best_ci)]
-                       : nullptr;
-      if (jp != nullptr) {
-        // left = probe (accumulated), right = build (new table).
-        if (jp->left_table == best_t) {
-          join->left_key = jp->right_column->Clone();
-          join->right_key = jp->left_column->Clone();
-        } else {
-          join->left_key = jp->left_column->Clone();
-          join->right_key = jp->right_column->Clone();
-        }
-      }
-      std::unique_ptr<PlanNode> build =
-          std::move(scans[static_cast<size_t>(best_t)]);
-      join->total_cost = current->total_cost + build->total_cost +
-                         build_rows * params_.hash_build_row +
-                         current_rows * params_.hash_probe_row +
-                         best_out * params_.output_row;
-      join->estimated_rows = std::max(best_out, 1.0);
-      join->children.push_back(std::move(current));
-      join->children.push_back(std::move(build));
-
+      std::set<int> probe_tables = joined;
       joined.insert(best_t);
-      for (size_t i = 0; i < query_.conjuncts.size(); ++i) {
-        const ConjunctInfo& c = query_.conjuncts[i];
-        if (static_cast<int>(i) == best_ci) continue;
-        if (c.is_equi_join && joined.count(c.left_table) > 0 &&
-            joined.count(c.right_table) > 0 &&
-            (c.left_table == best_t || c.right_table == best_t)) {
-          join->predicates.push_back(c.expr->Clone());
-        }
-      }
-      for (int ci : ResidualConjuncts(query_, joined, best_t)) {
-        join->predicates.push_back(
-            query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
-      }
-      current = std::move(join);
+      current = MakeHashJoin(std::move(current),
+                             std::move(scans[static_cast<size_t>(best_t)]),
+                             probe_tables, best_edge, best_out);
       current_rows = current->estimated_rows;
     }
     return Result<std::unique_ptr<PlanNode>>(std::move(current));
+  }
+
+  /// Bitset DP over join orders (wing-style CostBasedOptimizer): for every
+  /// table subset, the cheapest (probe, build) partition by modeled cost,
+  /// preferring partitions connected by an equi conjunct and falling back
+  /// to cross joins only when a subset has no connected partition (mirrors
+  /// the greedy connected-first rule). Bushy trees fall out naturally.
+  /// Subset output rows use a closed form — scan rows times the selectivity
+  /// of every conjunct internal to the subset — so the estimate is
+  /// independent of the split and DP comparisons are apples-to-apples.
+  Result<std::unique_ptr<PlanNode>> BuildJoinTreeDp(
+      std::vector<std::unique_ptr<PlanNode>> scans) {
+    const int n = query_.num_tables();
+    const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1u);
+
+    // Per-conjunct table mask + selectivity factor for the closed form.
+    struct ConjunctFactor {
+      uint32_t mask = 0;
+      double sel = 1.0;
+    };
+    std::vector<ConjunctFactor> factors;
+    for (const auto& c : query_.conjuncts) {
+      if (c.tables.size() <= 1) continue;
+      ConjunctFactor f;
+      for (int t : c.tables) f.mask |= 1u << t;
+      if (c.is_equi_join) {
+        double ndv = std::max({est_.ColumnNdv(query_, *c.left_column),
+                               est_.ColumnNdv(query_, *c.right_column), 1.0});
+        f.sel = 1.0 / ndv;
+      } else {
+        f.sel = CardinalityEstimator::kDefaultSelectivity;
+      }
+      factors.push_back(f);
+    }
+
+    struct DpEntry {
+      double cost = 0.0;
+      double rows = 0.0;
+      uint32_t probe = 0;  // best split: probe-side subset (0 = leaf)
+      bool valid = false;
+    };
+    std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+    std::vector<double> scan_rows(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      const PlanNode& s = *scans[static_cast<size_t>(t)];
+      scan_rows[static_cast<size_t>(t)] = s.estimated_rows;
+      DpEntry& e = dp[1u << t];
+      e.cost = s.total_cost;
+      e.rows = s.estimated_rows;
+      e.valid = true;
+    }
+
+    auto closed_form_rows = [&](uint32_t mask) {
+      double r = 1.0;
+      for (int t = 0; t < n; ++t) {
+        if (mask & (1u << t)) r *= scan_rows[static_cast<size_t>(t)];
+      }
+      for (const ConjunctFactor& f : factors) {
+        if ((f.mask & mask) == f.mask) r *= f.sel;
+      }
+      return std::max(r, 1.0);
+    };
+    auto tables_of = [&](uint32_t mask) {
+      std::set<int> out;
+      for (int t = 0; t < n; ++t) {
+        if (mask & (1u << t)) out.insert(t);
+      }
+      return out;
+    };
+
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if ((mask & (mask - 1)) == 0) continue;  // singleton
+      DpEntry& e = dp[mask];
+      e.rows = closed_form_rows(mask);
+      // Two passes: connected partitions first, cross joins only if the
+      // subset has no equi-connected split at all.
+      for (int pass = 0; pass < 2 && !e.valid; ++pass) {
+        for (uint32_t probe = (mask - 1) & mask; probe != 0;
+             probe = (probe - 1) & mask) {
+          uint32_t build = mask & ~probe;
+          if (!dp[probe].valid || !dp[build].valid) continue;
+          JoinEdge edge =
+              AnalyzeJoinEdge(query_, est_, tables_of(probe), tables_of(build));
+          bool connected = edge.hash_conjunct >= 0;
+          if (pass == 0 && !connected) continue;
+          double cost = dp[probe].cost + dp[build].cost +
+                        dp[build].rows * params_.hash_build_row +
+                        dp[probe].rows * params_.hash_probe_row +
+                        e.rows * params_.output_row;
+          if (!e.valid || cost < e.cost) {
+            e.cost = cost;
+            e.probe = probe;
+            e.valid = true;
+          }
+        }
+      }
+      if (!e.valid) {
+        return Status::PlanError("DP join enumeration found no plan");
+      }
+    }
+
+    // Reconstruct the best tree; each scan is consumed exactly once.
+    auto rebuild = [&](auto&& self, uint32_t mask) -> std::unique_ptr<PlanNode> {
+      if ((mask & (mask - 1)) == 0) {
+        int t = 0;
+        while ((mask & (1u << t)) == 0) ++t;
+        return std::move(scans[static_cast<size_t>(t)]);
+      }
+      const DpEntry& e = dp[mask];
+      uint32_t build_mask = mask & ~e.probe;
+      std::set<int> probe_tables = tables_of(e.probe);
+      JoinEdge edge =
+          AnalyzeJoinEdge(query_, est_, probe_tables, tables_of(build_mask));
+      auto probe = self(self, e.probe);
+      auto build = self(self, build_mask);
+      auto join = MakeHashJoin(std::move(probe), std::move(build),
+                               probe_tables, edge, e.rows);
+      // MakeHashJoin costs incrementally; pin the DP-modeled figures so the
+      // tree reports exactly what the enumeration compared.
+      join->total_cost = e.cost;
+      join->estimated_rows = std::max(e.rows, 1.0);
+      return join;
+    };
+    return Result<std::unique_ptr<PlanNode>>(rebuild(rebuild, full));
+  }
+
+  /// Recomputes scan and join costs bottom-up after predicate transfer
+  /// mutated the tree (sifted scans shrink every operator below a
+  /// producing join; producers pay for building their Bloom filters).
+  double RecostJoinTree(PlanNode* node) {
+    if (node->op == PlanOp::kColumnScan || node->op == PlanOp::kSiftedScan) {
+      node->total_cost = node->base_rows *
+                         static_cast<double>(node->columns_read.size()) *
+                         params_.scan_value;
+      // Bloom probes run on every row surviving the scan predicates; charge
+      // base rows as a conservative bound (zone maps may skip some).
+      node->total_cost += node->base_rows * params_.bloom_probe_row *
+                          static_cast<double>(node->sift_probes.size());
+      return node->total_cost;
+    }
+    if (node->op == PlanOp::kHashJoin) {
+      double probe_cost = RecostJoinTree(node->children[0].get());
+      double build_cost = RecostJoinTree(node->children[1].get());
+      const PlanNode& probe = *node->children[0];
+      const PlanNode& build = *node->children[1];
+      node->total_cost = probe_cost + build_cost +
+                         build.estimated_rows * params_.hash_build_row +
+                         probe.estimated_rows * params_.hash_probe_row +
+                         node->estimated_rows * params_.output_row;
+      if (node->sift_id >= 0) {
+        node->total_cost += build.estimated_rows * params_.bloom_build_row;
+      }
+      return node->total_cost;
+    }
+    return node->total_cost;
   }
 
   Result<std::unique_ptr<PlanNode>> AddAggregation(

@@ -4,6 +4,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "plan/plan_node.h"
+#include "plan/pt_graph.h"
 #include "sql/binder.h"
 
 namespace htapex {
@@ -20,12 +21,23 @@ struct ApCostParams {
   double topn_row = 0.0008;       // bounded-heap push
   double output_row = 0.0005;     // emit one row
   double startup = 30.0;          // distributed dispatch overhead
+  double bloom_build_row = 0.001;   // insert one build key into a sift filter
+  double bloom_probe_row = 0.0002;  // probe one scan row against one filter
+  /// Join enumeration: bitset DP over all partitions (connected first,
+  /// cross-join fallback) up to dp_table_threshold tables; the original
+  /// greedy chaining beyond that, and always when enable_dp is off
+  /// (the `bad_join_order` counterfactual).
+  bool enable_dp = true;
+  int dp_table_threshold = 10;
+  /// Bloom-filter predicate-transfer policy (see plan/pt_graph.h).
+  SiftParams sift;
 };
 
 /// The AP engine's optimizer: columnar scans with predicate pushdown (only
-/// referenced columns are read), left-deep hash joins, hash aggregation,
-/// and bounded-heap Top-N. AP has no B+-tree indexes and no nested-loop
-/// joins — the mirror image of the TP engine.
+/// referenced columns are read), cost-based bitset-DP join ordering (bushy
+/// trees allowed) with Bloom-filter predicate transfer onto probe-spine
+/// scans, hash aggregation, and bounded-heap Top-N. AP has no B+-tree
+/// indexes and no nested-loop joins — the mirror image of the TP engine.
 class ApOptimizer {
  public:
   explicit ApOptimizer(const Catalog& catalog, ApCostParams params = {})

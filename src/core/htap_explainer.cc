@@ -208,10 +208,10 @@ std::vector<std::string> HtapExplainer::DefaultKnowledgeSqls() const {
   };
   const PatternCount plan[] = {
       {QueryPattern::kPointLookup, 2},     {QueryPattern::kSelectiveRange, 2},
-      {QueryPattern::kJoinSmall, 2},       {QueryPattern::kJoinLarge, 3},
+      {QueryPattern::kJoinSmall, 2},       {QueryPattern::kJoinLarge, 2},
       {QueryPattern::kJoinFunctionPred, 3},{QueryPattern::kTopNIndexed, 2},
       {QueryPattern::kTopNUnindexed, 2},   {QueryPattern::kTopNLargeOffset, 2},
-      {QueryPattern::kGroupByAggregate, 2},
+      {QueryPattern::kGroupByAggregate, 2},{QueryPattern::kJoinStarChain, 1},
   };
   std::vector<std::string> sqls;
   for (const PatternCount& pc : plan) {

@@ -196,6 +196,39 @@ Result<Executor::Rows> Executor::RunColumnScan(const PlanNode& node,
   return out;
 }
 
+Result<Executor::Rows> Executor::RunSiftedScan(const PlanNode& node,
+                                               int total_slots) const {
+  // RunColumnScan semantics, then each sift probe in producer order: rows
+  // whose join key is definitely absent from a producing join's Bloom
+  // filter (or NULL, which can never join) are dropped. The producing hash
+  // joins sit above this scan on the probe spine and run their build sides
+  // first, so every referenced filter exists by the time the scan runs.
+  std::vector<const BloomFilter*> filters;
+  filters.reserve(node.sift_probes.size());
+  for (const SiftProbe& sp : node.sift_probes) {
+    auto it = sift_filters_.find(sp.sift_id);
+    if (it == sift_filters_.end()) {
+      return Status::ExecutionError("sift filter not built before scan");
+    }
+    filters.push_back(&it->second);
+  }
+  HTAPEX_ASSIGN_OR_RETURN(Rows in, RunColumnScan(node, total_slots));
+  Rows out;
+  for (Row& row : in) {
+    bool keep = true;
+    for (size_t i = 0; i < node.sift_probes.size(); ++i) {
+      HTAPEX_ASSIGN_OR_RETURN(Value k,
+                              EvalExpr(*node.sift_probes[i].key, row));
+      if (k.is_null() || !filters[i]->MayContain(k.Hash())) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(std::move(row));
+  }
+  return out;
+}
+
 Result<Executor::Rows> Executor::RunFilter(const PlanNode& node,
                                            int total_slots) const {
   HTAPEX_ASSIGN_OR_RETURN(Rows in, Run(*node.children[0], total_slots));
@@ -286,8 +319,16 @@ Result<Executor::Rows> Executor::RunIndexNestedLoopJoin(const PlanNode& node,
 
 Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
                                              int total_slots) const {
-  HTAPEX_ASSIGN_OR_RETURN(Rows probe, Run(*node.children[0], total_slots));
-  HTAPEX_ASSIGN_OR_RETURN(Rows build, Run(*node.children[1], total_slots));
+  // Sift producers run their build side first: the kSiftedScan at the
+  // bottom of the probe spine needs this join's Bloom filter before it
+  // scans. Non-sifting joins keep the historical probe-then-build order.
+  Rows probe, build;
+  if (node.sift_id >= 0) {
+    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
+  } else {
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
+    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
+  }
   std::vector<std::pair<int, int>> build_ranges;
   CollectScanRanges(*node.children[1], &build_ranges);
 
@@ -307,11 +348,22 @@ Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
 
   std::unordered_multimap<uint64_t, size_t> table;
   std::vector<Value> build_keys(build.size());
+  BloomFilter* bloom = nullptr;
+  if (node.sift_id >= 0) {
+    bloom = &sift_filters_
+                 .emplace(node.sift_id,
+                          BloomFilter(build.size(), node.sift_bits_per_key))
+                 .first->second;
+  }
   for (size_t i = 0; i < build.size(); ++i) {
     HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.right_key, build[i]));
     if (k.is_null()) continue;
     build_keys[i] = k;
     table.emplace(k.Hash(), i);
+    if (bloom != nullptr) bloom->Insert(k.Hash());
+  }
+  if (node.sift_id >= 0) {
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
   }
   Rows out;
   for (const Row& p : probe) {
@@ -494,6 +546,8 @@ Result<Executor::Rows> Executor::RunDispatch(const PlanNode& node,
       return RunIndexScan(node, total_slots);
     case PlanOp::kColumnScan:
       return RunColumnScan(node, total_slots);
+    case PlanOp::kSiftedScan:
+      return RunSiftedScan(node, total_slots);
     case PlanOp::kFilter:
       return RunFilter(node, total_slots);
     case PlanOp::kNestedLoopJoin:
@@ -523,7 +577,9 @@ Result<QueryResultSet> Executor::Execute(const PhysicalPlan& plan,
                                          std::vector<std::string> output_names,
                                          ExecStats* stats) const {
   stats_ = stats;
+  sift_filters_.clear();
   Result<Rows> rows = Run(*plan.root, plan.total_slots);
+  sift_filters_.clear();
   stats_ = nullptr;
   if (!rows.ok()) return rows.status();
   QueryResultSet result;

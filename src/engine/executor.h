@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "plan/plan_node.h"
+#include "plan/pt_graph.h"
 #include "storage/column_store.h"
 #include "storage/row_store.h"
 
@@ -57,6 +58,7 @@ class Executor {
   Result<Rows> RunTableScan(const PlanNode& node, int total_slots) const;
   Result<Rows> RunIndexScan(const PlanNode& node, int total_slots) const;
   Result<Rows> RunColumnScan(const PlanNode& node, int total_slots) const;
+  Result<Rows> RunSiftedScan(const PlanNode& node, int total_slots) const;
   Result<Rows> RunFilter(const PlanNode& node, int total_slots) const;
   Result<Rows> RunNestedLoopJoin(const PlanNode& node, int total_slots) const;
   Result<Rows> RunIndexNestedLoopJoin(const PlanNode& node,
@@ -77,6 +79,10 @@ class Executor {
   const ColumnStore& column_store_;
   /// Set only for the duration of an instrumented Execute call.
   mutable ExecStats* stats_ = nullptr;
+  /// Bloom filters built by sift-producing hash joins during the current
+  /// Execute, keyed by sift_id; consumed by kSiftedScan nodes below them.
+  /// Like stats_, this assumes one Execute at a time per Executor.
+  mutable std::map<int, BloomFilter> sift_filters_;
 };
 
 }  // namespace htapex

@@ -34,7 +34,8 @@ class LatencyWalker {
         self_us = node.base_rows * p_.tp_seq_row_us;
         break;
       }
-      case PlanOp::kColumnScan: {
+      case PlanOp::kColumnScan:
+      case PlanOp::kSiftedScan: {
         // Pushed predicates reduce output, but the scan still reads every
         // value of each referenced column (zone maps prune some segments;
         // modelled as a modest discount for selective predicates).
@@ -42,6 +43,13 @@ class LatencyWalker {
                                    std::max<size_t>(node.columns_read.size(), 1));
         double prune = node.predicates.empty() ? 1.0 : 0.9;
         self_us = values * p_.ap_value_us * prune / p_.ap_parallelism;
+        // A sifted scan additionally tests every base row against each
+        // Bloom filter transferred onto it.
+        if (!node.sift_probes.empty()) {
+          self_us += node.base_rows * p_.ap_bloom_probe_row_us *
+                     static_cast<double>(node.sift_probes.size()) /
+                     p_.ap_parallelism;
+        }
         break;
       }
       case PlanOp::kIndexScan: {
@@ -99,6 +107,12 @@ class LatencyWalker {
                      probe_rows * p_.ap_hash_probe_row_us +
                      node.estimated_rows * p_.ap_output_row_us) /
                     p_.ap_parallelism;
+          // A sift-producing join also populates a Bloom filter while
+          // building its hash table.
+          if (node.sift_id >= 0) {
+            self_us += build_rows * p_.ap_bloom_build_row_us /
+                       p_.ap_parallelism;
+          }
         } else {
           // Counterfactual TP hash join: single node, row-at-a-time tuples.
           self_us = build_rows * p_.tp_hash_build_row_us +

@@ -33,6 +33,8 @@ struct LatencyParams {
   double ap_sort_row_us = 0.05;      // per row*log2(rows)
   double ap_topn_row_us = 0.01;      // per row*log2(k)
   double ap_output_row_us = 0.01;
+  double ap_bloom_build_row_us = 0.002;  // insert one build key into a sift
+  double ap_bloom_probe_row_us = 0.001;  // test one scanned row against a sift
   double ap_parallelism = 8.0;       // data servers x cores
   double ap_startup_ms = 40.0;       // distributed dispatch + fan-in
 };

@@ -25,7 +25,7 @@ void VecExecutor::EnsurePool(int workers) const {
 bool VecExecutor::IsPipelineChain(const PlanNode& node) {
   const PlanNode* cur = &node;
   while (cur->op == PlanOp::kHashJoin) cur = cur->children[0].get();
-  return cur->op == PlanOp::kColumnScan;
+  return cur->op == PlanOp::kColumnScan || cur->op == PlanOp::kSiftedScan;
 }
 
 Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
@@ -59,6 +59,15 @@ Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
     if (j->left_key == nullptr || j->right_key == nullptr) {
       bj.cross = true;
     } else {
+      BloomFilter* bloom = nullptr;
+      if (j->sift_id >= 0) {
+        // Same non-null key-hash stream as the hash table, so the filter
+        // is identical to the row executor's.
+        bloom = &sift_filters_
+                     .emplace(j->sift_id, BloomFilter(bj.build_rows.size(),
+                                                      j->sift_bits_per_key))
+                     .first->second;
+      }
       bj.build_keys.resize(bj.build_rows.size());
       for (size_t i = 0; i < bj.build_rows.size(); ++i) {
         HTAPEX_ASSIGN_OR_RETURN(Value k,
@@ -66,10 +75,24 @@ Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
         if (k.is_null()) continue;
         bj.build_keys[i] = k;
         bj.table.emplace(k.Hash(), i);
+        if (bloom != nullptr) bloom->Insert(k.Hash());
       }
     }
     spec->joins.push_back(std::move(bj));
     spec->nodes.push_back(j);
+  }
+  // Resolve the scan's sift probes against the filters just built (the
+  // producers are spine joins above the scan, so all ids are present now).
+  for (const SiftProbe& sp : cur->sift_probes) {
+    auto it = sift_filters_.find(sp.sift_id);
+    if (it == sift_filters_.end()) {
+      return Status::ExecutionError("sift filter not built before scan");
+    }
+    spec->scan_sifts.push_back(&it->second);
+    if (sp.key->kind != ExprKind::kColumnRef) {
+      return Status::ExecutionError("sift key must be a scan column");
+    }
+    spec->sift_ordinals.push_back(sp.key->flat_slot - cur->slot_offset);
   }
   return Status::OK();
 }
@@ -140,6 +163,27 @@ Status VecExecutor::ProcessMorsel(const PipelineSpec& spec,
   batch.end = morsel.end;
   HTAPEX_RETURN_IF_ERROR(ComputeScanSelection(*spec.scan, spec.ordinals,
                                               total_slots, arena, &batch));
+  if (!spec.scan_sifts.empty()) {
+    // Sift before the selection count: the scan node's actual_rows must
+    // match the row executor's post-sift cardinality. NULL keys can never
+    // join and are dropped, exactly like RunSiftedScan.
+    std::vector<uint32_t> kept;
+    kept.reserve(batch.sel.size());
+    for (uint32_t off : batch.sel) {
+      bool keep = true;
+      for (size_t s = 0; s < spec.scan_sifts.size(); ++s) {
+        const ColumnVector& col =
+            spec.table->columns[static_cast<size_t>(spec.sift_ordinals[s])];
+        Value k = col.Get(batch.begin + off);
+        if (k.is_null() || !spec.scan_sifts[s]->MayContain(k.Hash())) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) kept.push_back(off);
+    }
+    batch.sel = std::move(kept);
+  }
   out->counts[0] = batch.sel.size();
   if (spec.sink == SinkKind::kTypedAgg) {
     return TypedAggMorsel(spec, batch, arena, out);
@@ -384,8 +428,16 @@ Result<VecExecutor::Rows> VecExecutor::RunNestedLoopJoin(
 
 Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
     const PlanNode& node, int total_slots) const {
-  HTAPEX_ASSIGN_OR_RETURN(Rows probe, Run(*node.children[0], total_slots));
-  HTAPEX_ASSIGN_OR_RETURN(Rows build, Run(*node.children[1], total_slots));
+  // Mirrors Executor::RunHashJoin, including the build-first ordering for
+  // sift producers (their Bloom filter must exist before the probe side —
+  // and the sifted scan below it — runs).
+  Rows probe, build;
+  if (node.sift_id >= 0) {
+    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
+  } else {
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
+    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
+  }
   std::vector<std::pair<int, int>> build_ranges;
   CollectScanRanges(*node.children[1], &build_ranges);
 
@@ -404,11 +456,22 @@ Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
 
   std::unordered_multimap<uint64_t, size_t> table;
   std::vector<Value> build_keys(build.size());
+  BloomFilter* bloom = nullptr;
+  if (node.sift_id >= 0) {
+    bloom = &sift_filters_
+                 .emplace(node.sift_id,
+                          BloomFilter(build.size(), node.sift_bits_per_key))
+                 .first->second;
+  }
   for (size_t i = 0; i < build.size(); ++i) {
     HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.right_key, build[i]));
     if (k.is_null()) continue;
     build_keys[i] = k;
     table.emplace(k.Hash(), i);
+    if (bloom != nullptr) bloom->Insert(k.Hash());
+  }
+  if (node.sift_id >= 0) {
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
   }
   Rows out;
   for (const Row& p : probe) {
@@ -547,6 +610,7 @@ Result<VecExecutor::Rows> VecExecutor::RunDispatch(const PlanNode& node,
                                                    int total_slots) const {
   switch (node.op) {
     case PlanOp::kColumnScan:
+    case PlanOp::kSiftedScan:
       return RunPipeline(node, total_slots);
     case PlanOp::kHashJoin:
       if (IsPipelineChain(node)) return RunPipeline(node, total_slots);
@@ -582,7 +646,9 @@ Result<QueryResultSet> VecExecutor::Execute(
     const PhysicalPlan& plan, std::vector<std::string> output_names,
     ExecStats* stats) const {
   stats_ = stats;
+  sift_filters_.clear();
   Result<Rows> rows = Run(*plan.root, plan.total_slots);
+  sift_filters_.clear();
   stats_ = nullptr;
   if (!rows.ok()) return rows.status();
   QueryResultSet result;

@@ -89,6 +89,12 @@ class VecExecutor {
     std::vector<const PlanNode*> nodes;  // [scan, joins bottom-up] for stats
     SinkKind sink = SinkKind::kRows;
     const PlanNode* agg = nullptr;  // fused aggregate (kGroups/kTypedAgg)
+    /// Resolved Bloom filters for a kSiftedScan, aligned with
+    /// scan->sift_probes, plus the matching key-column ordinals. All
+    /// filters are built with the join build sides, before the parallel
+    /// region, and probed read-only by the morsel workers.
+    std::vector<const BloomFilter*> scan_sifts;
+    std::vector<int> sift_ordinals;
   };
 
   /// Per-morsel output slot, merged in morsel index order.
@@ -148,6 +154,11 @@ class VecExecutor {
   mutable std::unique_ptr<WorkerPool> pool_;
   /// Set only for the duration of an instrumented Execute call.
   mutable ExecStats* stats_ = nullptr;
+  /// Bloom filters built by sift-producing hash joins during the current
+  /// Execute, keyed by sift_id. Mutated only on the coordinating thread
+  /// (pipeline build happens before any parallel region); morsel workers
+  /// read it immutably. Like stats_, assumes one Execute at a time.
+  mutable std::map<int, BloomFilter> sift_filters_;
 };
 
 }  // namespace htapex

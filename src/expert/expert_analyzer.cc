@@ -51,6 +51,38 @@ void AddUnique(std::vector<PerfFactor>* v, PerfFactor f) {
   if (std::find(v->begin(), v->end(), f) == v->end()) v->push_back(f);
 }
 
+/// Largest estimated hash-join output anywhere in the tree.
+double MaxHashJoinRows(const PlanNode& node) {
+  double m = node.op == PlanOp::kHashJoin ? node.estimated_rows : 0.0;
+  for (const auto& c : node.children) m = std::max(m, MaxHashJoinRows(*c));
+  return m;
+}
+
+/// A hash join whose build side is small enough that a Bloom-filter sift
+/// of the probe side would have been cheap to produce.
+bool HasSmallBuildHashJoin(const PlanNode& node) {
+  if (node.op == PlanOp::kHashJoin && node.sift_id < 0 &&
+      node.left_key != nullptr &&
+      node.children[1]->estimated_rows < 500'000 &&
+      node.children[0]->estimated_rows > 100'000) {
+    return true;
+  }
+  for (const auto& c : node.children) {
+    if (HasSmallBuildHashJoin(*c)) return true;
+  }
+  return false;
+}
+
+/// Worst expected Bloom false-positive rate across all sifted scans.
+double MaxSiftFpRate(const PlanNode& node) {
+  double m = 0.0;
+  for (const SiftProbe& p : node.sift_probes) {
+    m = std::max(m, p.expected_fp_rate);
+  }
+  for (const auto& c : node.children) m = std::max(m, MaxSiftFpRate(*c));
+  return m;
+}
+
 }  // namespace
 
 ExpertAnalysis ExpertAnalyzer::Analyze(const HtapQueryOutcome& outcome,
@@ -148,6 +180,20 @@ ExpertAnalysis ExpertAnalyzer::Analyze(const HtapQueryOutcome& outcome,
         outcome.ap_latency_ms < 4.0 * latency_.ap_startup_ms) {
       AddUnique(&analysis.secondary, PerfFactor::kApStartupOverhead);
     }
+    // AP lost: cite plan-quality defects on the AP side that a cost-based
+    // join order and predicate transfer would normally prevent.
+    double worst_join = MaxHashJoinRows(*ap_root);
+    if (worst_join > 100'000.0 &&
+        worst_join > 10.0 * std::max(ap_root->estimated_rows, 1.0)) {
+      AddUnique(&analysis.secondary, PerfFactor::kBadJoinOrder);
+    }
+    if (!HasOp(*ap_root, PlanOp::kSiftedScan) &&
+        HasSmallBuildHashJoin(*ap_root)) {
+      AddUnique(&analysis.secondary, PerfFactor::kMissingSift);
+    }
+    if (MaxSiftFpRate(*ap_root) > 0.10) {
+      AddUnique(&analysis.secondary, PerfFactor::kBloomFpOverrun);
+    }
   }
 
   analysis.explanation = RenderExpertExplanation(analysis);
@@ -182,6 +228,12 @@ std::string RenderExpertExplanation(const ExpertAnalysis& analysis) {
     case PerfFactor::kFunctionDefeatsIndex:
       text = std::string(winner) + " is faster: " +
              PerfFactorPhrase(analysis.primary) + ".";
+      break;
+    case PerfFactor::kBadJoinOrder:
+    case PerfFactor::kMissingSift:
+    case PerfFactor::kBloomFpOverrun:
+      text = std::string(winner) + " is faster because on the " + loser +
+             " side " + PerfFactorPhrase(analysis.primary) + ".";
       break;
   }
   for (PerfFactor f : analysis.secondary) {

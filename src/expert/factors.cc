@@ -28,6 +28,12 @@ const char* PerfFactorId(PerfFactor f) {
       return "ap_startup_overhead";
     case PerfFactor::kFunctionDefeatsIndex:
       return "function_defeats_index";
+    case PerfFactor::kBadJoinOrder:
+      return "bad_join_order";
+    case PerfFactor::kMissingSift:
+      return "missing_sift";
+    case PerfFactor::kBloomFpOverrun:
+      return "bloom_fp_overrun";
   }
   return "?";
 }
@@ -56,6 +62,14 @@ const char* PerfFactorPhrase(PerfFactor f) {
       return "distributed dispatch overhead dominates such a small amount of work";
     case PerfFactor::kFunctionDefeatsIndex:
       return "applying a function to the indexed column prevents index use";
+    case PerfFactor::kBadJoinOrder:
+      return "join order inflates an intermediate result far beyond the final "
+             "output";
+    case PerfFactor::kMissingSift:
+      return "no Bloom filter sifts the probe side before the join";
+    case PerfFactor::kBloomFpOverrun:
+      return "undersized Bloom filter lets too many false positives through "
+             "the sift";
   }
   return "?";
 }
@@ -71,7 +85,10 @@ std::vector<PerfFactor> AllPerfFactors() {
           PerfFactor::kFullSortVsTopN,
           PerfFactor::kLargeOffsetScan,
           PerfFactor::kApStartupOverhead,
-          PerfFactor::kFunctionDefeatsIndex};
+          PerfFactor::kFunctionDefeatsIndex,
+          PerfFactor::kBadJoinOrder,
+          PerfFactor::kMissingSift,
+          PerfFactor::kBloomFpOverrun};
 }
 
 std::vector<PerfFactor> ExtractFactorsFromText(const std::string& text) {

@@ -22,6 +22,9 @@ enum class PerfFactor {
   kLargeOffsetScan,          // a large OFFSET negates early termination
   kApStartupOverhead,        // AP's distributed dispatch dominates tiny work
   kFunctionDefeatsIndex,     // function over an indexed column blocks the index
+  kBadJoinOrder,             // greedy join order blows up an intermediate
+  kMissingSift,              // no Bloom-filter predicate transfer on the probe
+  kBloomFpOverrun,           // undersized sift passes too many false positives
 };
 
 /// Stable identifier, e.g. "no_index_nested_loop".

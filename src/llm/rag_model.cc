@@ -37,6 +37,13 @@ bool FactorApplicable(PerfFactor f, const PairSurface& s,
       return sig.tiny_work;
     case PerfFactor::kFunctionDefeatsIndex:
       return sig.function_predicate;
+    case PerfFactor::kBadJoinOrder:
+      return s.ap.num_joins >= 2 && s.ap.max_plan_rows > 100'000;
+    case PerfFactor::kMissingSift:
+      return s.ap.HasNode("Hash join") &&
+             !s.ap.HasNode("Sifted columnar scan");
+    case PerfFactor::kBloomFpOverrun:
+      return s.ap.HasNode("Sifted columnar scan");
   }
   return false;
 }

@@ -83,6 +83,21 @@ std::string FactorSentence(PerfFactor f, const PairSurface& surface,
           "Also note that %s, which is why the predicate is evaluated "
           "against every candidate row instead.",
           phrase.c_str());
+    case PerfFactor::kBadJoinOrder:
+      return StrFormat(
+          "In the losing plan the %s — the optimizer multiplied the wrong "
+          "tables first and every later operator pays for it.",
+          phrase.c_str());
+    case PerfFactor::kMissingSift:
+      return StrFormat(
+          "On the AP side %s, so the big scan feeds every row into the "
+          "probe even though most of them could never match.",
+          phrase.c_str());
+    case PerfFactor::kBloomFpOverrun:
+      return StrFormat(
+          "Here an %s, so the sifted scan pays the filtering cost without "
+          "the cardinality payoff.",
+          phrase.c_str());
   }
   return phrase + ".";
 }

@@ -44,7 +44,8 @@ const ColumnStats* CardinalityEstimator::StatsFor(const BoundQuery& query,
 double CardinalityEstimator::ColumnNdv(const BoundQuery& query,
                                        const Expr& ref) const {
   const ColumnStats* s = StatsFor(query, ref);
-  return s == nullptr ? 1.0 : static_cast<double>(std::max<int64_t>(s->ndv, 1));
+  return s == nullptr ? kNoStatsNdv
+                      : static_cast<double>(std::max<int64_t>(s->ndv, 1));
 }
 
 double CardinalityEstimator::ConjunctSelectivity(
@@ -65,7 +66,7 @@ double CardinalityEstimator::ConjunctSelectivity(
   if (conjunct.sargable) {
     const ColumnStats* stats = StatsFor(query, *conjunct.sarg_column);
     double ndv = stats == nullptr
-                     ? 100.0
+                     ? kNoStatsNdv
                      : static_cast<double>(std::max<int64_t>(stats->ndv, 1));
     switch (e.kind) {
       case ExprKind::kComparison: {

@@ -28,7 +28,8 @@ class CardinalityEstimator {
   double JoinOutputRows(const BoundQuery& query, const ConjunctInfo& join,
                         double left_rows, double right_rows) const;
 
-  /// Distinct-value estimate of a bound column ref (1 when unknown).
+  /// Distinct-value estimate of a bound column ref (kNoStatsNdv when the
+  /// column has no statistics).
   double ColumnNdv(const BoundQuery& query, const Expr& column_ref) const;
 
   /// Default selectivity used when a predicate wraps columns in functions
@@ -36,6 +37,12 @@ class CardinalityEstimator {
   static constexpr double kFunctionPredicateSelectivity = 0.10;
   static constexpr double kLikeSelectivity = 0.05;
   static constexpr double kDefaultSelectivity = 0.33;
+  /// NDV assumed for a column with no statistics. Historically ColumnNdv
+  /// answered 1.0 while ConjunctSelectivity assumed 100.0 for the very same
+  /// column, so an equality predicate claimed 1% selectivity while a join on
+  /// that column claimed *no* reduction at all (|L|*|R|/1). Both paths now
+  /// share this single, deliberately conservative guess.
+  static constexpr double kNoStatsNdv = 100.0;
 
  private:
   const ColumnStats* StatsFor(const BoundQuery& query,

@@ -32,6 +32,8 @@ const char* PlanOpName(PlanOp op) {
       return "Project";
     case PlanOp::kColumnScan:
       return "Columnar scan";
+    case PlanOp::kSiftedScan:
+      return "Sifted columnar scan";
     case PlanOp::kHashJoin:
       return "Hash join";
     case PlanOp::kHashAggregate:
@@ -79,6 +81,15 @@ JsonValue PlanNode::ToJson() const {
   if (left_key != nullptr && right_key != nullptr) {
     obj.Set("Join Cond", JsonValue::String(left_key->ToString() + " = " +
                                            right_key->ToString()));
+  }
+  if (sift_id >= 0) obj.Set("Sift Id", JsonValue::Int(sift_id));
+  if (!sift_probes.empty()) {
+    std::string keys;
+    for (size_t i = 0; i < sift_probes.size(); ++i) {
+      if (i > 0) keys += ", ";
+      keys += sift_probes[i].key->ToString();
+    }
+    obj.Set("Sift Key", JsonValue::String(keys));
   }
   if (!sort_keys.empty()) {
     std::string keys;

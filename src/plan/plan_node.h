@@ -32,6 +32,7 @@ enum class PlanOp {
   kProject,              // expression projection
   // AP-side operators.
   kColumnScan,     // columnar scan, reads only referenced columns
+  kSiftedScan,     // columnar scan filtered by join-key Bloom filters
   kHashJoin,       // build + probe hash join
   kHashAggregate,  // hash-based aggregation
   kTopN,           // bounded heap ORDER BY + LIMIT
@@ -48,6 +49,19 @@ const char* PlanOpName(PlanOp op);
 struct SortKey {
   std::unique_ptr<Expr> expr;
   bool descending = false;
+};
+
+/// One Bloom-filter probe a kSiftedScan applies: rows whose `key` is
+/// definitely absent from the Bloom filter built by the hash join tagged
+/// `sift_id` are dropped before they enter the probe pipeline. False
+/// positives are removed by the join itself, so results are unchanged.
+struct SiftProbe {
+  int sift_id = -1;
+  std::unique_ptr<Expr> key;  // probe-side join key (a scan-table column)
+  /// Modeled Bloom false-positive rate at the configured bits-per-key.
+  double expected_fp_rate = 0.0;
+  /// Modeled fraction of scan rows surviving this probe (fp included).
+  double expected_selectivity = 1.0;
 };
 
 /// A node of a physical plan tree. Nodes own clones of all expressions, so
@@ -79,6 +93,16 @@ struct PlanNode {
   // Joins: equi-join key pair (null for pure cross/NL joins).
   std::unique_ptr<Expr> left_key;
   std::unique_ptr<Expr> right_key;
+  /// kHashJoin: >= 0 when this join's build side feeds a Bloom filter to a
+  /// kSiftedScan below its probe side (the scan's SiftProbe carries the
+  /// matching id).
+  int sift_id = -1;
+  /// kHashJoin producers: Bloom sizing for the filter this join builds.
+  double sift_bits_per_key = 10.0;
+
+  // kSiftedScan: Bloom probes applied after this scan's own predicates, in
+  // producer-join order from the bottom of the probe spine upward.
+  std::vector<SiftProbe> sift_probes;
 
   // Sort / TopN / Limit.
   std::vector<SortKey> sort_keys;

@@ -68,6 +68,56 @@ std::vector<int> ResidualConjuncts(const BoundQuery& query,
   return out;
 }
 
+JoinEdge AnalyzeJoinEdge(const BoundQuery& query,
+                         const CardinalityEstimator& est,
+                         const std::set<int>& left, const std::set<int>& right) {
+  JoinEdge edge;
+  std::vector<int> crossing;
+  double best_ndv = -1.0;
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const auto& c = query.conjuncts[i];
+    if (!c.is_equi_join) continue;
+    bool crosses = (left.count(c.left_table) > 0 && right.count(c.right_table) > 0) ||
+                   (right.count(c.left_table) > 0 && left.count(c.right_table) > 0);
+    if (!crosses) continue;
+    crossing.push_back(static_cast<int>(i));
+    double ndv = std::max(est.ColumnNdv(query, *c.left_column),
+                          est.ColumnNdv(query, *c.right_column));
+    if (ndv > best_ndv) {
+      best_ndv = ndv;
+      edge.hash_conjunct = static_cast<int>(i);
+    }
+  }
+  for (int jci : crossing) {
+    if (jci == edge.hash_conjunct) continue;
+    edge.extra_equi.push_back(jci);
+    const auto& c = query.conjuncts[jci];
+    double ndv = std::max(est.ColumnNdv(query, *c.left_column),
+                          est.ColumnNdv(query, *c.right_column));
+    edge.extra_selectivity /= std::max(ndv, 1.0);
+  }
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const auto& c = query.conjuncts[i];
+    if (c.is_equi_join || c.tables.size() <= 1) continue;
+    bool touches_left = false, touches_right = false, all_in = true;
+    for (int t : c.tables) {
+      if (left.count(t) > 0) {
+        touches_left = true;
+      } else if (right.count(t) > 0) {
+        touches_right = true;
+      } else {
+        all_in = false;
+        break;
+      }
+    }
+    if (all_in && touches_left && touches_right) {
+      edge.residuals.push_back(static_cast<int>(i));
+      edge.extra_selectivity *= CardinalityEstimator::kDefaultSelectivity;
+    }
+  }
+  return edge;
+}
+
 std::unique_ptr<Expr> MakeSlotRef(int slot, DataType type, std::string label) {
   auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
   e->column_name = std::move(label);

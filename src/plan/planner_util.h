@@ -34,6 +34,32 @@ std::vector<int> ResidualConjuncts(const BoundQuery& query,
                                    const std::set<int>& joined,
                                    int newly_added);
 
+/// Everything a join between two disjoint table sets has to know about the
+/// conjuncts crossing that edge. Shared by the greedy and DP enumerators in
+/// both optimizers so their cardinality arithmetic cannot drift apart.
+struct JoinEdge {
+  /// The crossing equi conjunct used as the hash key: the most selective
+  /// one, i.e. the one with the highest max(ndv(left), ndv(right)) — ties
+  /// broken by lowest conjunct index. -1 when no equi conjunct crosses
+  /// (cross join).
+  int hash_conjunct = -1;
+  /// Remaining crossing equi conjuncts, in conjunct-index order. Applied as
+  /// post-join filter predicates.
+  std::vector<int> extra_equi;
+  /// Non-equi multi-table conjuncts that become executable once the two
+  /// sides are joined: every referenced table is in left∪right and at least
+  /// one is on each side.
+  std::vector<int> residuals;
+  /// Combined selectivity of extra_equi (1/max key NDV each) and residuals
+  /// (kDefaultSelectivity each) — everything the hash conjunct alone does
+  /// not account for. Multiply into JoinOutputRows of the hash conjunct.
+  double extra_selectivity = 1.0;
+};
+
+JoinEdge AnalyzeJoinEdge(const BoundQuery& query,
+                         const CardinalityEstimator& est,
+                         const std::set<int>& left, const std::set<int>& right);
+
 /// Maps expression text to an output slot; used to rewrite expressions that
 /// sit above an aggregation (whose output layout is [group keys..., aggs...]).
 using OutputSlotMap = std::map<std::string, int>;

@@ -142,40 +142,41 @@ class TpPlanBuilder {
 
     while (static_cast<int>(joined.size()) < n) {
       // Pick the connected table with the smallest estimated join output;
-      // disconnected tables are considered last (cross join).
+      // disconnected tables are considered last (cross join). The edge
+      // analysis picks the most selective crossing equi conjunct as the
+      // join key and folds the other crossing conjuncts into the estimate.
       int best_t = -1;
-      int best_join_ci = -1;
       double best_out = 0;
       bool best_connected = false;
+      JoinEdge best_edge;
       for (int t = 0; t < n; ++t) {
         if (joined.count(t) > 0) continue;
-        std::vector<int> jcs = JoinConjunctsBetween(query_, joined, t);
-        bool connected = !jcs.empty();
+        JoinEdge edge = AnalyzeJoinEdge(query_, est_, joined, {t});
+        bool connected = edge.hash_conjunct >= 0;
         double out;
-        int jci = -1;
         if (connected) {
-          jci = jcs[0];
-          out = est_.JoinOutputRows(query_,
-                                    query_.conjuncts[static_cast<size_t>(jci)],
-                                    current_rows, rows[static_cast<size_t>(t)]);
+          out = est_.JoinOutputRows(
+              query_,
+              query_.conjuncts[static_cast<size_t>(edge.hash_conjunct)],
+              current_rows, rows[static_cast<size_t>(t)]);
         } else {
           out = current_rows * rows[static_cast<size_t>(t)];
         }
+        out = std::max(out * edge.extra_selectivity, 1.0);
         bool better = best_t < 0 || (connected && !best_connected) ||
                       (connected == best_connected && out < best_out);
         if (better) {
           best_t = t;
-          best_join_ci = jci;
           best_out = out;
           best_connected = connected;
+          best_edge = edge;
         }
       }
 
       std::unique_ptr<PlanNode> join;
       HTAPEX_ASSIGN_OR_RETURN(
-          join, BuildJoin(std::move(current), current_rows, joined, best_t,
-                          best_join_ci, std::move(access[static_cast<size_t>(
-                                            best_t)])));
+          join, BuildJoin(std::move(current), current_rows, best_t, best_edge,
+                          std::move(access[static_cast<size_t>(best_t)])));
       joined.insert(best_t);
       current = std::move(join);
       current_rows = current->estimated_rows;
@@ -187,14 +188,16 @@ class TpPlanBuilder {
   /// column, probe it per outer row (index nested loop); otherwise rescan
   /// `t`'s access path (plain nested loop). TP never hash-joins.
   Result<std::unique_ptr<PlanNode>> BuildJoin(
-      std::unique_ptr<PlanNode> outer, double outer_rows, std::set<int> joined,
-      int t, int join_ci, std::unique_ptr<PlanNode> inner_access) {
+      std::unique_ptr<PlanNode> outer, double outer_rows, int t,
+      const JoinEdge& edge, std::unique_ptr<PlanNode> inner_access) {
     const BoundTable& bt = query_.table(t);
     double inner_base = est_.BaseTableRows(query_, t);
     double inner_filtered = est_.FilteredTableRows(query_, t);
 
     const ConjunctInfo* join_pred =
-        join_ci >= 0 ? &query_.conjuncts[static_cast<size_t>(join_ci)] : nullptr;
+        edge.hash_conjunct >= 0
+            ? &query_.conjuncts[static_cast<size_t>(edge.hash_conjunct)]
+            : nullptr;
     const Expr* outer_key = nullptr;
     const Expr* inner_key = nullptr;
     if (join_pred != nullptr) {
@@ -212,10 +215,14 @@ class TpPlanBuilder {
             ? nullptr
             : catalog_.FindIndexOnColumn(bt.ref.table, inner_key->column_name);
 
+    // Extra crossing equi conjuncts and residual filters attach below as
+    // join-level predicates; their selectivity belongs in the estimate too
+    // (historically it was dropped, over-estimating multi-conjunct joins).
     double out_rows =
         join_pred != nullptr
             ? est_.JoinOutputRows(query_, *join_pred, outer_rows, inner_filtered)
             : outer_rows * inner_filtered;
+    out_rows = std::max(out_rows * edge.extra_selectivity, 1.0);
 
     std::unique_ptr<PlanNode> join;
     if (params_.force_hash_join && join_pred != nullptr) {
@@ -281,18 +288,11 @@ class TpPlanBuilder {
     }
     // Extra join conjuncts between the same pair plus residual multi-table
     // predicates become join-level filters.
-    joined.insert(t);
-    for (size_t i = 0; i < query_.conjuncts.size(); ++i) {
-      const ConjunctInfo& c = query_.conjuncts[i];
-      if (static_cast<int>(i) == join_ci) continue;
-      if (c.is_equi_join) {
-        bool in_pair = joined.count(c.left_table) > 0 &&
-                       joined.count(c.right_table) > 0 &&
-                       (c.left_table == t || c.right_table == t);
-        if (in_pair) join->predicates.push_back(c.expr->Clone());
-      }
+    for (int ci : edge.extra_equi) {
+      join->predicates.push_back(
+          query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
     }
-    for (int ci : ResidualConjuncts(query_, joined, t)) {
+    for (int ci : edge.residuals) {
       join->predicates.push_back(
           query_.conjuncts[static_cast<size_t>(ci)].expr->Clone());
     }

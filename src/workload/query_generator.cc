@@ -25,6 +25,8 @@ const char* QueryPatternName(QueryPattern p) {
       return "topn_large_offset";
     case QueryPattern::kGroupByAggregate:
       return "groupby_aggregate";
+    case QueryPattern::kJoinStarChain:
+      return "join_star_chain";
     case QueryPattern::kExotic:
       return "exotic";
   }
@@ -36,7 +38,8 @@ std::vector<QueryPattern> AllQueryPatterns() {
           QueryPattern::kJoinSmall,        QueryPattern::kJoinLarge,
           QueryPattern::kJoinFunctionPred, QueryPattern::kTopNIndexed,
           QueryPattern::kTopNUnindexed,    QueryPattern::kTopNLargeOffset,
-          QueryPattern::kGroupByAggregate, QueryPattern::kExotic};
+          QueryPattern::kGroupByAggregate, QueryPattern::kJoinStarChain,
+          QueryPattern::kExotic};
 }
 
 QueryGenerator::QueryGenerator(double stats_scale_factor, uint64_t seed)
@@ -187,6 +190,39 @@ GeneratedQuery QueryGenerator::Generate(QueryPattern pattern, int variant) {
           static_cast<long long>(limit), static_cast<long long>(offset));
       break;
     }
+    case QueryPattern::kJoinStarChain: {
+      // Multi-join shapes that separate a cost-based join order from the
+      // greedy one, with selective dimension filters that make Bloom-filter
+      // sifting of the fact-table scan profitable.
+      int kind = variant >= 0 ? variant % 3 : static_cast<int>(rng_.Uniform(0, 2));
+      if (kind == 0) {
+        // Star: lineitem fact joined to three dimensions.
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM lineitem, orders, part, supplier WHERE "
+            "l_orderkey = o_orderkey AND l_partkey = p_partkey AND l_suppkey "
+            "= s_suppkey AND p_size = %lld AND s_acctbal > %lld AND "
+            "o_orderstatus = '%s'",
+            static_cast<long long>(rng_.Uniform(1, 50)),
+            static_cast<long long>(rng_.Uniform(6000, 9000)),
+            rng_.Choice(tpch::kOrderStatus).c_str());
+      } else if (kind == 1) {
+        // Chain: region -> nation -> customer -> orders.
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM region, nation, customer, orders WHERE "
+            "r_regionkey = n_regionkey AND n_nationkey = c_nationkey AND "
+            "c_custkey = o_custkey AND r_name = '%s' AND o_totalprice > %lld",
+            rng_.Choice(tpch::kRegions).c_str(),
+            static_cast<long long>(rng_.Uniform(100000, 400000)));
+      } else {
+        // Two-table sift showcase: tiny filtered build, huge probe.
+        q.sql = StrFormat(
+            "SELECT COUNT(*) FROM lineitem, part WHERE l_partkey = p_partkey "
+            "AND p_size = %lld AND p_container = '%s'",
+            static_cast<long long>(rng_.Uniform(1, 50)),
+            rng_.Choice(tpch::kPartContainers).c_str());
+      }
+      break;
+    }
     case QueryPattern::kExotic: {
       // Rare factor combinations, deliberately outside the 20-entry
       // knowledge base's coverage (the paper's Section IV hypothesizes the
@@ -252,8 +288,8 @@ std::vector<GeneratedQuery> QueryGenerator::GenerateMix(int n) {
   // point/selective queries keep the TP side of the label distribution
   // populated so the router has both classes to learn.
   const std::vector<QueryPattern> patterns = AllQueryPatterns();
-  const std::vector<double> weights = {2.0, 1.5, 1.5, 2.5, 2.0,
-                                       1.5, 1.5, 1.0, 1.5, 2.2};
+  const std::vector<double> weights = {2.0, 1.5, 1.5, 2.5, 2.0, 1.5,
+                                       1.5, 1.0, 1.5, 1.2, 2.2};
   std::vector<GeneratedQuery> out;
   out.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {

@@ -23,6 +23,7 @@ enum class QueryPattern {
   kTopNUnindexed,     // ORDER BY unindexed col [DESC] -> AP Top-N wins
   kTopNLargeOffset,   // big OFFSET -> streaming advantage collapses
   kGroupByAggregate,  // grouped aggregation over a join -> AP wins
+  kJoinStarChain,     // 4-5 table star/chain join -> DP ordering + sifting
   kExotic,            // rare combinations the small KB does not cover
 };
 

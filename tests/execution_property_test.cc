@@ -40,6 +40,27 @@ void ExpectRowVecParity(const HtapSystem& system, const std::string& sql) {
   }
 }
 
+bool HasOp(const PlanNode& node, PlanOp op) {
+  if (node.op == op) return true;
+  for (const auto& c : node.children) {
+    if (HasOp(*c, op)) return true;
+  }
+  return false;
+}
+
+/// A hash join whose build side itself contains a hash join — a shape only
+/// the DP enumerator produces (greedy always builds on a base table).
+bool HasBushyJoin(const PlanNode& node) {
+  if (node.op == PlanOp::kHashJoin && node.children.size() == 2 &&
+      HasOp(*node.children[1], PlanOp::kHashJoin)) {
+    return true;
+  }
+  for (const auto& c : node.children) {
+    if (HasBushyJoin(*c)) return true;
+  }
+  return false;
+}
+
 class ExecutionPropertyTest
     : public ::testing::TestWithParam<QueryPattern> {
  protected:
@@ -111,6 +132,29 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 using NonEmptyTest = ExecutionPropertyTest;
+
+TEST_F(ExecutionPropertyTest, SiftedAndBushyPlansKeepRowVecParity) {
+  // The parameterized differential above only exercises the PR-9 plan
+  // shapes if the optimizer actually emits them. Assert that star/chain
+  // joins really produce sifted scans and bushy trees at this scale, and
+  // that parity holds on exactly those plans.
+  QueryGenerator gen(system_->config().stats_scale_factor, 0x51f7);
+  int sifted = 0, bushy = 0;
+  for (int i = 0; i < 24; ++i) {
+    GeneratedQuery gq = gen.Generate(QueryPattern::kJoinStarChain);
+    auto query = system_->Bind(gq.sql);
+    ASSERT_TRUE(query.ok()) << gq.sql;
+    auto plans = system_->PlanBoth(*query);
+    ASSERT_TRUE(plans.ok()) << gq.sql;
+    bool has_sift = HasOp(*plans->ap.root, PlanOp::kSiftedScan);
+    bool has_bushy = HasBushyJoin(*plans->ap.root);
+    if (has_sift) ++sifted;
+    if (has_bushy) ++bushy;
+    if (has_sift || has_bushy) ExpectRowVecParity(*system_, gq.sql);
+  }
+  EXPECT_GT(sifted, 0) << "no star/chain query produced a sifted scan";
+  EXPECT_GT(bushy, 0) << "no star/chain query produced a bushy join";
+}
 
 TEST_F(ExecutionPropertyTest, SelectedQueriesReturnExpectedShapes) {
   // A few queries with hand-checkable semantics at this scale.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "ap/ap_optimizer.h"
 #include "engine/htap_system.h"
+#include "plan/cardinality.h"
+#include "sql/binder.h"
 
 namespace htapex {
 namespace {
@@ -160,6 +163,183 @@ TEST_F(OptimizerTest, CostsGrowWithInputSize) {
   PlanPair large = Plans("SELECT COUNT(*) FROM orders");
   EXPECT_LT(small.tp.root->total_cost, large.tp.root->total_cost);
   EXPECT_LT(small.ap.root->total_cost, large.ap.root->total_cost);
+}
+
+// Regression: with two equi conjuncts between the same table pair, the
+// hash key must be the conjunct with the highest combined NDV (the most
+// selective one), not whichever was written first. Here the first-written
+// conjunct keys on o_custkey/c_custkey (NDV 15M) and the second on
+// o_orderkey/c_custkey (NDV 150M); the second must win.
+TEST_F(OptimizerTest, ApHashKeyPicksMostSelectiveConjunct) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_orderkey = c_custkey");
+  const PlanNode* join = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  ASSERT_NE(join->left_key, nullptr);
+  std::string keys =
+      join->left_key->ToString() + " " + join->right_key->ToString();
+  EXPECT_NE(keys.find("o_orderkey"), std::string::npos) << keys;
+  // The weaker equi conjunct survives as a join-level predicate.
+  EXPECT_FALSE(join->predicates.empty());
+  // Regression: that extra conjunct's selectivity (1/15M) must land in the
+  // join's estimate, collapsing it to ~1 row instead of ~15M.
+  EXPECT_LT(join->estimated_rows, 100.0);
+}
+
+// Regression: residual (non-equi, multi-table) predicates attached to the
+// join must scale its output estimate by the default selectivity.
+TEST_F(OptimizerTest, ApJoinEstimateAppliesResidualSelectivity) {
+  PlanPair base = Plans(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey");
+  PlanPair filtered = Plans(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_totalprice > c_acctbal");
+  const PlanNode* base_join = Find(*base.ap.root, PlanOp::kHashJoin);
+  const PlanNode* filt_join = Find(*filtered.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(base_join, nullptr);
+  ASSERT_NE(filt_join, nullptr);
+  EXPECT_FALSE(filt_join->predicates.empty());
+  EXPECT_NEAR(filt_join->estimated_rows,
+              base_join->estimated_rows * CardinalityEstimator::kDefaultSelectivity,
+              base_join->estimated_rows * 0.01);
+}
+
+// The DP enumerator's modeled cost can never exceed greedy's: greedy's
+// tree is inside DP's search space and subset cardinalities are
+// order-invariant.
+TEST_F(OptimizerTest, ApDpNeverCostlierThanGreedy) {
+  ApCostParams dp_params;
+  dp_params.sift.enabled = false;
+  ApCostParams greedy_params = dp_params;
+  greedy_params.enable_dp = false;
+  ApOptimizer dp_opt(system_->catalog(), dp_params);
+  ApOptimizer greedy_opt(system_->catalog(), greedy_params);
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM lineitem, orders, part, supplier WHERE "
+        "l_orderkey = o_orderkey AND l_partkey = p_partkey AND "
+        "l_suppkey = s_suppkey AND p_size = 10 AND s_acctbal > 8000",
+        "SELECT COUNT(*) FROM region, nation, customer, orders WHERE "
+        "r_regionkey = n_regionkey AND n_nationkey = c_nationkey AND "
+        "c_custkey = o_custkey AND r_name = 'asia'",
+        "SELECT COUNT(*) FROM customer, nation, orders WHERE o_custkey = "
+        "c_custkey AND n_nationkey = c_nationkey AND n_name = 'egypt'"}) {
+    auto query = system_->Bind(sql);
+    ASSERT_TRUE(query.ok()) << sql;
+    auto dp_plan = dp_opt.Plan(*query);
+    auto greedy_plan = greedy_opt.Plan(*query);
+    ASSERT_TRUE(dp_plan.ok() && greedy_plan.ok()) << sql;
+    EXPECT_LE(dp_plan->root->total_cost,
+              greedy_plan->root->total_cost * (1.0 + 1e-9))
+        << sql;
+  }
+}
+
+// Golden plan shape: on a selective chain the DP enumerator assembles the
+// two tiny dimension tables into a build subtree (a bushy join) instead of
+// greedy's left-deep order, and the probe spine bottoms out in the large
+// fact scan — which predicate transfer then turns into a sifted scan.
+TEST_F(OptimizerTest, ApDpBuildsBushyPlanForSelectiveChain) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM region, nation, customer WHERE r_regionkey = "
+      "n_regionkey AND n_nationkey = c_nationkey AND r_name = 'asia'");
+  const PlanNode* top = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(top, nullptr);
+  // Build side contains its own hash join over nation and region.
+  const PlanNode* build_join = Find(*top->children[1], PlanOp::kHashJoin);
+  ASSERT_NE(build_join, nullptr);
+  // Probe spine bottoms out in the (sifted) customer scan.
+  const PlanNode* bottom = top->children[0].get();
+  while (!bottom->children.empty()) bottom = bottom->children[0].get();
+  EXPECT_EQ(bottom->relation, "customer");
+  EXPECT_EQ(bottom->op, PlanOp::kSiftedScan);
+}
+
+// Sift plan shape: a selective dimension join transfers a Bloom filter
+// onto the probe scan, records its expected FP rate and selectivity, and
+// scales the scan's output estimate down.
+TEST_F(OptimizerTest, ApSiftedScanShapeAndScaling) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey "
+      "AND n_name = 'egypt'");
+  const PlanNode* scan = Find(*plans.ap.root, PlanOp::kSiftedScan);
+  ASSERT_NE(scan, nullptr);
+  ASSERT_EQ(scan->sift_probes.size(), 1u);
+  const SiftProbe& probe = scan->sift_probes[0];
+  EXPECT_GE(probe.sift_id, 0);
+  EXPECT_GT(probe.expected_fp_rate, 0.0);
+  EXPECT_LT(probe.expected_fp_rate, 0.05);
+  EXPECT_LE(probe.expected_selectivity, 0.5);
+  const PlanNode* join = Find(*plans.ap.root, PlanOp::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->sift_id, probe.sift_id);
+  // The scan's estimate shrinks to the modeled pass-through fraction.
+  EXPECT_LT(scan->estimated_rows, 0.5 * scan->base_rows);
+  // The sift surfaces in the EXPLAIN output.
+  std::string json = plans.ap.Explain();
+  EXPECT_NE(json.find("Sifted columnar scan"), std::string::npos);
+  EXPECT_NE(json.find("Sift Id"), std::string::npos);
+}
+
+// No sift when the build side is too large to be worth a filter.
+TEST_F(OptimizerTest, ApNoSiftForLargeBuildSide) {
+  PlanPair plans = Plans(
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey");
+  EXPECT_EQ(Find(*plans.ap.root, PlanOp::kSiftedScan), nullptr);
+}
+
+// Above the DP table threshold the optimizer falls back to greedy and
+// still produces a valid (left-deep) plan.
+TEST_F(OptimizerTest, ApGreedyFallbackAboveDpThreshold) {
+  ApCostParams params;
+  params.dp_table_threshold = 2;  // forces greedy for 3+ tables
+  ApOptimizer opt(system_->catalog(), params);
+  auto query = system_->Bind(
+      "SELECT COUNT(*) FROM customer, nation, orders WHERE o_custkey = "
+      "c_custkey AND n_nationkey = c_nationkey AND n_name = 'egypt'");
+  ASSERT_TRUE(query.ok());
+  auto plan = opt.Plan(*query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Greedy is left-deep: no hash join on any build side.
+  const PlanNode* join = Find(*plan->root, PlanOp::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(Find(*join->children[1], PlanOp::kHashJoin), nullptr);
+}
+
+// The no-stats NDV fallback is one shared constant: an equality predicate
+// on a statistics-less column and a join on that same column must both
+// assume kNoStatsNdv distinct values (historically the join assumed 1.0,
+// claiming zero reduction).
+TEST(CardinalityFallbackTest, NoStatsNdvUnified) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema(
+                      "t", {{"a", DataType::kInt}, {"b", DataType::kInt}},
+                      {"a"}))
+                  .ok());
+  auto query = ParseAndBind(catalog, "SELECT COUNT(*) FROM t WHERE a = 5");
+  ASSERT_TRUE(query.ok()) << query.status();
+  CardinalityEstimator est(catalog);
+  ASSERT_EQ(query->conjuncts.size(), 1u);
+  EXPECT_NEAR(est.ConjunctSelectivity(*query, query->conjuncts[0]),
+              1.0 / CardinalityEstimator::kNoStatsNdv, 1e-12);
+  const Expr* col = query->conjuncts[0].sarg_column;
+  ASSERT_NE(col, nullptr);
+  EXPECT_NEAR(est.ColumnNdv(*query, *col), CardinalityEstimator::kNoStatsNdv,
+              1e-12);
+  // JoinOutputRows on the same column now divides by the same guess.
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema(
+                      "u", {{"x", DataType::kInt}, {"y", DataType::kInt}},
+                      {"x"}))
+                  .ok());
+  auto join_query =
+      ParseAndBind(catalog, "SELECT COUNT(*) FROM t, u WHERE a = x");
+  ASSERT_TRUE(join_query.ok()) << join_query.status();
+  ASSERT_EQ(join_query->conjuncts.size(), 1u);
+  EXPECT_NEAR(est.JoinOutputRows(*join_query, join_query->conjuncts[0], 1000.0,
+                                 1000.0),
+              1000.0 * 1000.0 / CardinalityEstimator::kNoStatsNdv, 1e-6);
 }
 
 }  // namespace
