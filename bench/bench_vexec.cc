@@ -13,9 +13,18 @@
 //   3. Morsel scaling: 4 workers beat 1 worker by >= 1.5x on a
 //      scan-aggregate query (auto-skipped on machines with < 2 cores,
 //      where the extra workers just contend for one core).
+//   4. Join-probe speedup: on join-heavy pipelines (two/three-way joins
+//      plus generated kJoinStarChain plans, sifted and bushy), the batch
+//      probe (flat JoinTable, gathered key columns, late materialization)
+//      is >= 2x faster (geomean) than the row-at-a-time probe baseline
+//      (VecProbeMode::kRowAtATime) at one worker — with byte-identical
+//      fingerprints between the two modes.
 //
 // `--self-check` runs reduced-rep versions of the same checks (the CI
 // engine job's fast path); without it the full benchmark table prints too.
+// Every run also writes machine-readable results (geomean speedups,
+// per-query timings and plan-rows/sec) to BENCH_vexec.json in the working
+// directory.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -205,9 +214,34 @@ void BestMillisAb(int reps, FnA&& a, FnB&& b, double* best_a,
   }
 }
 
+/// One timed query for the machine-readable report.
+struct BenchEntry {
+  std::string sql;
+  double ms_a = 0.0;  // baseline side
+  double ms_b = 0.0;  // vectorized / batch side
+  double speedup = 0.0;
+  /// Sum of per-node actual rows flowing through the plan, divided by the
+  /// fast side's time — a plan-throughput figure comparable across runs.
+  double rows_per_sec = 0.0;
+};
+
+/// Total rows flowing through the AP plan (sum of per-node actual
+/// cardinalities), for the rows/sec figures in BENCH_vexec.json.
+size_t PlanRows(const HtapSystem& system, const PlannedQuery& pq) {
+  ExecStats stats;
+  auto res =
+      system.ExecuteWithMode(ExecMode::kVectorized, pq.plans.ap, pq.query, &stats);
+  if (!res.ok()) return 0;
+  size_t total = 0;
+  for (const auto& [node, rows] : stats.actual_rows) total += rows;
+  return total;
+}
+
 /// Check 2: >= 3x single-thread geomean speedup over the row executor on
 /// the scan-aggregate set.
-bool CheckSingleThreadSpeedup(const HtapSystem& system, int reps) {
+bool CheckSingleThreadSpeedup(const HtapSystem& system, int reps,
+                              double* geomean_out,
+                              std::vector<BenchEntry>* entries) {
   std::vector<PlannedQuery> planned = PlanAll(system, SpeedupQueries());
   system.vec_executor()->set_num_workers(1);
   double log_sum = 0.0;
@@ -229,8 +263,12 @@ bool CheckSingleThreadSpeedup(const HtapSystem& system, int reps) {
     log_sum += std::log(speedup);
     std::printf("  row %8.3f ms | vec(1 worker) %8.3f ms | %5.1fx  %s\n",
                 ms_row, ms_vec, speedup, pq.sql.c_str());
+    entries->push_back(
+        {pq.sql, ms_row, ms_vec, speedup,
+         static_cast<double>(PlanRows(system, pq)) / (ms_vec / 1000.0)});
   }
   double geomean = std::exp(log_sum / static_cast<double>(planned.size()));
+  *geomean_out = geomean;
   std::printf(
       "single-thread speedup (%s backend): geomean %.1fx over %zu queries "
       "(bar: >= 3x)\n",
@@ -240,6 +278,142 @@ bool CheckSingleThreadSpeedup(const HtapSystem& system, int reps) {
     return false;
   }
   return true;
+}
+
+/// Join-heavy pipeline set for the batch-probe gate: hand-written two- and
+/// three-way joins over the largest tables plus generated kJoinStarChain
+/// plans (4-5 table star/chain shapes the optimizer sifts and bushes).
+std::vector<std::string> JoinQueries(const HtapSystem& system) {
+  std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_totalprice > 50000",
+      "SELECT n_name, COUNT(*), SUM(o_totalprice) FROM nation, customer, "
+      "orders WHERE o_custkey = c_custkey AND n_nationkey = c_nationkey "
+      "GROUP BY n_name",
+  };
+  QueryGenerator gen(system.config().stats_scale_factor, 0x517a);
+  for (int i = 0; i < 3; ++i) {
+    sqls.push_back(gen.Generate(QueryPattern::kJoinStarChain).sql);
+  }
+  return sqls;
+}
+
+/// Check 4: the batch probe must beat the row-at-a-time probe baseline by
+/// >= 2x (geomean) on the join-heavy set, at identical fingerprints.
+bool CheckJoinProbeSpeedup(const HtapSystem& system, int reps,
+                           double* geomean_out,
+                           std::vector<BenchEntry>* entries) {
+  std::vector<PlannedQuery> planned = PlanAll(system, JoinQueries(system));
+  VecExecutor* vexec = system.vec_executor();
+  vexec->set_num_workers(1);
+  double log_sum = 0.0;
+  size_t counted = 0;
+  bool ok = true;
+  for (const PlannedQuery& pq : planned) {
+    vexec->set_probe_mode(VecProbeMode::kRowAtATime);
+    auto res_old =
+        system.ExecuteWithMode(ExecMode::kVectorized, pq.plans.ap, pq.query);
+    vexec->set_probe_mode(VecProbeMode::kBatch);
+    auto res_new =
+        system.ExecuteWithMode(ExecMode::kVectorized, pq.plans.ap, pq.query);
+    if (res_old.ok() != res_new.ok() ||
+        (res_old.ok() && res_old->Fingerprint() != res_new->Fingerprint())) {
+      std::fprintf(stderr, "probe-mode fingerprint mismatch: %s\n",
+                   pq.sql.c_str());
+      ok = false;
+      continue;
+    }
+    if (!res_old.ok()) continue;
+    double ms_old = 0.0, ms_new = 0.0;
+    BestMillisAb(
+        reps,
+        [&] {
+          vexec->set_probe_mode(VecProbeMode::kRowAtATime);
+          auto r = system.ExecuteWithMode(ExecMode::kVectorized, pq.plans.ap,
+                                          pq.query);
+          benchmark::DoNotOptimize(r);
+        },
+        [&] {
+          vexec->set_probe_mode(VecProbeMode::kBatch);
+          auto r = system.ExecuteWithMode(ExecMode::kVectorized, pq.plans.ap,
+                                          pq.query);
+          benchmark::DoNotOptimize(r);
+        },
+        &ms_old, &ms_new);
+    double speedup = ms_old / ms_new;
+    log_sum += std::log(speedup);
+    ++counted;
+    std::printf(
+        "  row-probe %8.3f ms | batch-probe %8.3f ms | %5.1fx  %s\n", ms_old,
+        ms_new, speedup, pq.sql.c_str());
+    entries->push_back(
+        {pq.sql, ms_old, ms_new, speedup,
+         static_cast<double>(PlanRows(system, pq)) / (ms_new / 1000.0)});
+  }
+  vexec->set_probe_mode(VecProbeMode::kBatch);
+  if (counted == 0) {
+    std::fprintf(stderr, "FAIL: no join queries ran\n");
+    return false;
+  }
+  double geomean = std::exp(log_sum / static_cast<double>(counted));
+  *geomean_out = geomean;
+  std::printf(
+      "join-probe speedup (%s backend): geomean %.1fx over %zu queries "
+      "(bar: >= 2x)\n",
+      kernels::BackendName(kernels::ActiveBackend()), geomean, counted);
+  if (geomean < 2.0) {
+    std::fprintf(stderr, "FAIL: join-probe speedup %.2fx < 2x\n", geomean);
+    return false;
+  }
+  return ok;
+}
+
+void AppendJsonEntries(std::string* out, const std::vector<BenchEntry>& v,
+                       const char* a_name, const char* b_name) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    char buf[256];
+    std::string sql = v[i].sql;
+    for (char& c : sql) {
+      if (c == '"' || c == '\\') c = '\'';
+    }
+    *out += "    {\"sql\": \"" + sql + "\", ";
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s_ms\": %.4f, \"%s_ms\": %.4f, \"speedup\": %.3f, "
+                  "\"plan_rows_per_sec\": %.0f}",
+                  a_name, v[i].ms_a, b_name, v[i].ms_b, v[i].speedup,
+                  v[i].rows_per_sec);
+    *out += buf;
+    *out += i + 1 == v.size() ? "\n" : ",\n";
+  }
+}
+
+/// Writes the machine-readable report next to the binary's working dir.
+void WriteBenchJson(double scan_geomean, double join_geomean,
+                    const std::vector<BenchEntry>& scan_entries,
+                    const std::vector<BenchEntry>& join_entries) {
+  std::string json = "{\n";
+  json += "  \"backend\": \"" +
+          std::string(kernels::BackendName(kernels::ActiveBackend())) + "\",\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "  \"scan_agg_geomean_speedup\": %.3f,\n"
+                "  \"join_probe_geomean_speedup\": %.3f,\n",
+                scan_geomean, join_geomean);
+  json += buf;
+  json += "  \"scan_agg\": [\n";
+  AppendJsonEntries(&json, scan_entries, "row", "vec");
+  json += "  ],\n  \"join_probe\": [\n";
+  AppendJsonEntries(&json, join_entries, "row_probe", "batch_probe");
+  json += "  ]\n}\n";
+  std::FILE* f = std::fopen("BENCH_vexec.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write BENCH_vexec.json\n");
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_vexec.json\n");
 }
 
 /// Check 3: morsel-driven scaling, 1 -> 4 workers. Meaningless on a
@@ -380,9 +554,14 @@ int main(int argc, char** argv) {
   std::printf("\n=== vectorized executor self-checks%s ===\n",
               self_check ? " (quick)" : "");
   bool ok = true;
+  double scan_geomean = 0.0, join_geomean = 0.0;
+  std::vector<BenchEntry> scan_entries, join_entries;
   ok = CheckParity(*system) && ok;
-  ok = CheckSingleThreadSpeedup(*system, reps) && ok;
+  ok = CheckSingleThreadSpeedup(*system, reps, &scan_geomean, &scan_entries) &&
+       ok;
+  ok = CheckJoinProbeSpeedup(*system, reps, &join_geomean, &join_entries) && ok;
   ok = CheckMorselScaling(*system, reps) && ok;
+  WriteBenchJson(scan_geomean, join_geomean, scan_entries, join_entries);
   std::printf("%s\n", ok ? "ALL CHECKS PASSED" : "CHECKS FAILED");
   return ok ? 0 : 1;
 }

@@ -143,6 +143,46 @@ int64_t SumI64Scalar(const int64_t* a, int n) {
   return acc;
 }
 
+// Bit-exact Value::Hash() for numerics: widen to the double representation,
+// take its bit pattern, and run the same splitmix-style finalizer. Every
+// backend must agree with the per-row path exactly — join tables and Bloom
+// sifts built from gathered key columns would otherwise diverge from the
+// row-executor oracle.
+inline uint64_t SplitmixDoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  bits ^= bits >> 30;
+  bits *= 0xbf58476d1ce4e5b9ull;
+  bits ^= bits >> 27;
+  bits *= 0x94d049bb133111ebull;
+  bits ^= bits >> 31;
+  return bits;
+}
+
+void HashI64Scalar(const int64_t* a, uint64_t* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = SplitmixDoubleBits(static_cast<double>(a[i]));
+  }
+}
+
+void HashF64Scalar(const double* a, uint64_t* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = SplitmixDoubleBits(a[i]);
+}
+
+// FNV-1a 64 — Value::Hash() on strings. Inherently serial per string, so
+// every backend shares this implementation; it lives in the dispatch table
+// only so invocation counting stays uniform.
+uint64_t HashBytesScalar(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 + FMA backend. Compiled with per-function target attributes so no
 // special flags are needed for the rest of the library; only ever called
@@ -533,6 +573,58 @@ __attribute__((target("avx2"))) int64_t SumI64Avx2(const int64_t* a, int n) {
   return acc;
 }
 
+/// 4-lane 64-bit multiply by a constant, mod 2^64. AVX2 has no 64-bit
+/// low-multiply (that's AVX-512), so compose it from 32-bit partial
+/// products: lo*lo + ((hi*lo + lo*hi) << 32).
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                                   _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// The splitmix finalizer over 4 lanes of double bit patterns. Integer
+/// xor/shift/multiply — bit-identical to the scalar backend by
+/// construction.
+__attribute__((target("avx2"))) inline __m256i SplitmixAvx2(__m256i bits) {
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xbf58476d1ce4e5b9ull));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94d049bb133111ebull));
+  bits = _mm256_xor_si256(bits, _mm256_srli_epi64(bits, 30));
+  bits = Mul64Avx2(bits, c1);
+  bits = _mm256_xor_si256(bits, _mm256_srli_epi64(bits, 27));
+  bits = Mul64Avx2(bits, c2);
+  return _mm256_xor_si256(bits, _mm256_srli_epi64(bits, 31));
+}
+
+__attribute__((target("avx2"))) void HashF64Avx2(const double* a,
+                                                 uint64_t* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i bits = _mm256_castpd_si256(_mm256_loadu_pd(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        SplitmixAvx2(bits));
+  }
+  HashF64Scalar(a + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void HashI64Avx2(const int64_t* a,
+                                                 uint64_t* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // int64 -> double has no AVX2 form either; the scalar converts feed a
+    // vectorized finalizer (the multiplies are the expensive part).
+    __m256d d = _mm256_set_pd(
+        static_cast<double>(a[i + 3]), static_cast<double>(a[i + 2]),
+        static_cast<double>(a[i + 1]), static_cast<double>(a[i]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        SplitmixAvx2(_mm256_castpd_si256(d)));
+  }
+  HashI64Scalar(a + i, out + i, n - i);
+}
+
 #endif  // HTAPEX_KERNELS_X86
 
 // ---------------------------------------------------------------------------
@@ -702,6 +794,9 @@ struct DispatchTable {
   int64_t (*count_mask)(const uint8_t*, int) = CountMaskScalar;
   double (*sum_f64)(const double*, int) = SumF64Scalar;
   int64_t (*sum_i64)(const int64_t*, int) = SumI64Scalar;
+  void (*hash_i64)(const int64_t*, uint64_t*, int) = HashI64Scalar;
+  void (*hash_f64)(const double*, uint64_t*, int) = HashF64Scalar;
+  uint64_t (*hash_bytes)(const void*, size_t) = HashBytesScalar;
 };
 
 struct KernelCounters {
@@ -718,6 +813,9 @@ struct KernelCounters {
   std::atomic<uint64_t> count_mask{0};
   std::atomic<uint64_t> sum_f64{0};
   std::atomic<uint64_t> sum_i64{0};
+  std::atomic<uint64_t> hash_i64{0};
+  std::atomic<uint64_t> hash_f64{0};
+  std::atomic<uint64_t> hash_bytes{0};
 };
 
 KernelCounters& Counters() {
@@ -747,6 +845,8 @@ DispatchTable MakeTable(Backend backend) {
       t.count_mask = CountMaskAvx2;
       t.sum_f64 = SumF64Avx2;
       t.sum_i64 = SumI64Avx2;
+      t.hash_i64 = HashI64Avx2;
+      t.hash_f64 = HashF64Avx2;
       break;
 #endif
 #if HTAPEX_KERNELS_NEON
@@ -923,6 +1023,21 @@ int64_t SumI64(const int64_t* a, int n) {
   return Table().sum_i64(a, n);
 }
 
+void HashI64(const int64_t* a, uint64_t* out, int n) {
+  Counters().hash_i64.fetch_add(1, std::memory_order_relaxed);
+  Table().hash_i64(a, out, n);
+}
+
+void HashF64(const double* a, uint64_t* out, int n) {
+  Counters().hash_f64.fetch_add(1, std::memory_order_relaxed);
+  Table().hash_f64(a, out, n);
+}
+
+uint64_t HashBytes(const void* data, size_t len) {
+  Counters().hash_bytes.fetch_add(1, std::memory_order_relaxed);
+  return Table().hash_bytes(data, len);
+}
+
 KernelStats Stats() {
   const KernelCounters& c = Counters();
   KernelStats s;
@@ -940,6 +1055,9 @@ KernelStats Stats() {
   s.count_mask = c.count_mask.load(std::memory_order_relaxed);
   s.sum_f64 = c.sum_f64.load(std::memory_order_relaxed);
   s.sum_i64 = c.sum_i64.load(std::memory_order_relaxed);
+  s.hash_i64 = c.hash_i64.load(std::memory_order_relaxed);
+  s.hash_f64 = c.hash_f64.load(std::memory_order_relaxed);
+  s.hash_bytes = c.hash_bytes.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -1001,6 +1119,10 @@ double* Arena::AllocDoubles(size_t n) {
 
 int64_t* Arena::AllocInt64s(size_t n) {
   return static_cast<int64_t*>(AllocBytes(n * sizeof(int64_t)));
+}
+
+uint64_t* Arena::AllocU64s(size_t n) {
+  return static_cast<uint64_t*>(AllocBytes(n * sizeof(uint64_t)));
 }
 
 uint8_t* Arena::AllocU8(size_t n) { return static_cast<uint8_t*>(AllocBytes(n)); }

@@ -111,6 +111,20 @@ double SumF64(const double* a, int n);
 /// Sum of a[0..n); exact (two's-complement) on every backend.
 int64_t SumI64(const int64_t* a, int n);
 
+/// out[i] = the hash Value::Hash() produces for the int64 a[i]: widen to
+/// double, take the bit pattern, splitmix-style finalizer. Bit-identical on
+/// every backend — gathered-key join tables and Bloom sifts must agree with
+/// the per-row Value::Hash() path exactly.
+void HashI64(const int64_t* a, uint64_t* out, int n);
+
+/// Same contract over doubles (the shared representation int hashing
+/// widens into, so Int(1) and Double(1.0) collide like Value::Hash()).
+void HashF64(const double* a, uint64_t* out, int n);
+
+/// FNV-1a 64 over a byte range — Value::Hash() on strings. Serial per
+/// string on every backend; in the kernel set for uniform counting.
+uint64_t HashBytes(const void* data, size_t len);
+
 /// Per-kernel invocation counters (relaxed atomics, process-wide), exported
 /// into the Prometheus exposition next to the dispatch gauge so an operator
 /// can see both which backend is live and how hot each kernel runs.
@@ -129,6 +143,9 @@ struct KernelStats {
   uint64_t count_mask = 0;
   uint64_t sum_f64 = 0;
   uint64_t sum_i64 = 0;
+  uint64_t hash_i64 = 0;
+  uint64_t hash_f64 = 0;
+  uint64_t hash_bytes = 0;
 };
 KernelStats Stats();
 
@@ -162,6 +179,7 @@ class Arena {
   /// Typed views used by the vectorized executor's per-morsel scratch.
   double* AllocDoubles(size_t n);
   int64_t* AllocInt64s(size_t n);
+  uint64_t* AllocU64s(size_t n);
   uint8_t* AllocU8(size_t n);
 
   /// Makes all previously allocated memory reusable (no free).

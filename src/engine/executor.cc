@@ -319,21 +319,23 @@ Result<Executor::Rows> Executor::RunIndexNestedLoopJoin(const PlanNode& node,
 
 Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
                                              int total_slots) const {
-  // Sift producers run their build side first: the kSiftedScan at the
-  // bottom of the probe spine needs this join's Bloom filter before it
-  // scans. Non-sifting joins keep the historical probe-then-build order.
-  Rows probe, build;
-  if (node.sift_id >= 0) {
-    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
-  } else {
-    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
-    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
-  }
+  // The build side always runs first: a sift producer's Bloom filter must
+  // exist before the kSiftedScan at the bottom of the probe spine scans,
+  // and an empty build side short-circuits the probe side entirely — these
+  // are inner joins, so an empty build means an empty join no matter what
+  // the probe side would produce. The skipped probe subtree records no
+  // ExecStats, and the vectorized pipeline's empty-build cut mirrors that
+  // node-for-node.
+  Rows build;
+  HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
   std::vector<std::pair<int, int>> build_ranges;
   CollectScanRanges(*node.children[1], &build_ranges);
+  if (build.empty()) return Rows{};
 
   if (node.left_key == nullptr || node.right_key == nullptr) {
     // Degenerate cross join.
+    Rows probe;
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
     Rows out;
     for (const Row& p : probe) {
       for (const Row& b : build) {
@@ -347,6 +349,7 @@ Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
   }
 
   std::unordered_multimap<uint64_t, size_t> table;
+  table.reserve(build.size());
   std::vector<Value> build_keys(build.size());
   BloomFilter* bloom = nullptr;
   if (node.sift_id >= 0) {
@@ -362,10 +365,10 @@ Result<Executor::Rows> Executor::RunHashJoin(const PlanNode& node,
     table.emplace(k.Hash(), i);
     if (bloom != nullptr) bloom->Insert(k.Hash());
   }
-  if (node.sift_id >= 0) {
-    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
-  }
+  Rows probe;
+  HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
   Rows out;
+  out.reserve(probe.size());
   for (const Row& p : probe) {
     HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.left_key, p));
     if (k.is_null()) continue;

@@ -1,0 +1,45 @@
+#include "engine/join_table.h"
+
+namespace htapex {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void JoinTable::Reserve(size_t expected_rows) {
+  // Worst case every row carries a distinct hash; size so the build loop
+  // stays under the 0.7 load factor without rehashing.
+  size_t want = NextPow2(expected_rows * 10 / 7 + 1);
+  if (want < 16) want = 16;
+  next_.reserve(expected_rows);
+  if (num_rows_ != 0 || want <= capacity()) return;
+  tags_.assign(want, 0);
+  slots_.assign(want, Slot{});
+  mask_ = want - 1;
+}
+
+void JoinTable::Grow() {
+  size_t new_cap = slots_.empty() ? 16 : capacity() * 2;
+  std::vector<uint8_t> old_tags = std::move(tags_);
+  std::vector<Slot> old_slots = std::move(slots_);
+  tags_.assign(new_cap, 0);
+  slots_.assign(new_cap, Slot{});
+  mask_ = new_cap - 1;
+  for (size_t i = 0; i < old_slots.size(); ++i) {
+    if (old_tags[i] == 0) continue;
+    const uint64_t hash = old_slots[i].hash;
+    size_t s = hash & mask_;
+    while (tags_[s] != 0) s = (s + 1) & mask_;
+    tags_[s] = old_tags[i];
+    slots_[s] = old_slots[i];  // head pointer moves with the slot; the
+                               // chain itself (next_) is untouched.
+  }
+}
+
+}  // namespace htapex

@@ -25,10 +25,14 @@ struct LatencyParams {
   double tp_hash_probe_row_us = 0.10;
   double tp_startup_ms = 0.2;        // session/plan dispatch
 
-  // AP engine (distributed column store, vectorized).
+  // AP engine (distributed column store, vectorized). The hash-join
+  // constants are calibrated against the measured batch probe (flat
+  // JoinTable + gathered keys, bench_vexec join set, single worker):
+  // ~0.06 us/build row (key eval + insert + sift) and ~0.02 us/probe row
+  // (gather+hash+probe+confirm) on one core — see EXPERIMENTS S10.
   double ap_value_us = 0.006;        // scan one column value (per core)
-  double ap_hash_build_row_us = 0.05;
-  double ap_hash_probe_row_us = 0.01;
+  double ap_hash_build_row_us = 0.06;
+  double ap_hash_probe_row_us = 0.02;
   double ap_agg_row_us = 0.02;
   double ap_sort_row_us = 0.05;      // per row*log2(rows)
   double ap_topn_row_us = 0.01;      // per row*log2(k)

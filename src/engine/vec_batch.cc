@@ -264,4 +264,38 @@ size_t GatherNonNullF64(const ColumnVector& col, const VecBatch& batch,
   return k;
 }
 
+void GatherKeyHashes(const ColumnVector& col, size_t base,
+                     const uint32_t* offs, size_t n, kernels::Arena* arena,
+                     uint64_t* hashes, uint8_t* nulls) {
+  const uint8_t* col_nulls = col.NullsData() + base;
+  for (size_t i = 0; i < n; ++i) nulls[i] = col_nulls[offs[i]];
+  switch (col.type()) {
+    case DataType::kInt:
+    case DataType::kDate: {
+      // Null rows hash garbage values — harmless, the flags mask them.
+      const int64_t* vals = col.IntsData() + base;
+      int64_t* tmp = arena->AllocInt64s(n);
+      for (size_t i = 0; i < n; ++i) tmp[i] = vals[offs[i]];
+      kernels::HashI64(tmp, hashes, static_cast<int>(n));
+      return;
+    }
+    case DataType::kDouble: {
+      const double* vals = col.DoublesData() + base;
+      double* tmp = arena->AllocDoubles(n);
+      for (size_t i = 0; i < n; ++i) tmp[i] = vals[offs[i]];
+      kernels::HashF64(tmp, hashes, static_cast<int>(n));
+      return;
+    }
+    case DataType::kString: {
+      const std::string* vals = col.StringsData() + base;
+      for (size_t i = 0; i < n; ++i) {
+        if (nulls[i]) continue;
+        const std::string& s = vals[offs[i]];
+        hashes[i] = kernels::HashBytes(s.data(), s.size());
+      }
+      return;
+    }
+  }
+}
+
 }  // namespace htapex

@@ -60,6 +60,17 @@ size_t GatherNonNullI64(const ColumnVector& col, const VecBatch& batch,
 size_t GatherNonNullF64(const ColumnVector& col, const VecBatch& batch,
                         double* out);
 
+/// Gathers the join/sift key hashes of `col` for the `n` rows at
+/// `base + offs[i]` — non-compacting, so `hashes`/`nulls` stay aligned with
+/// the offset vector. `hashes[i]` is exactly what Value::Hash() produces
+/// for the stored value (bulk kernels::HashI64/HashF64 for numeric
+/// columns, kernels::HashBytes per string); it is garbage where
+/// `nulls[i] != 0` and must not be consulted there. Numeric gathers carve
+/// a temporary span out of `arena`.
+void GatherKeyHashes(const ColumnVector& col, size_t base,
+                     const uint32_t* offs, size_t n, kernels::Arena* arena,
+                     uint64_t* hashes, uint8_t* nulls);
+
 }  // namespace htapex
 
 #endif  // HTAPEX_ENGINE_VEC_BATCH_H_

@@ -46,16 +46,25 @@ Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
     if (c < 0) return Status::ExecutionError("unknown column: " + name);
     spec->ordinals.push_back(c);
   }
-  spec->nodes.push_back(cur);
-  // Build sides, bottom-up. Identical key-insertion sequence to the row
-  // executor's RunHashJoin, so equal_range iteration order (and therefore
-  // join output order) matches it exactly within one binary.
-  for (auto it = join_chain.rbegin(); it != join_chain.rend(); ++it) {
-    const PlanNode* j = *it;
+  // Build sides run top-down — the same order the row executor's
+  // build-first RunHashJoin recursion visits them. An empty build side
+  // empties every inner join above it regardless of the probe side, so the
+  // pipeline cuts there: the joins already built record zero output rows
+  // and the scan (plus everything below the cut) never executes — exactly
+  // the node set and counts of the row oracle's early return. Within one
+  // table the key-insertion sequence is the row executor's, so duplicate
+  // chains replay equal_range order (LIFO — see JoinTable).
+  const bool batch = probe_mode_ == VecProbeMode::kBatch;
+  for (const PlanNode* j : join_chain) {
     BuiltJoin bj;
     bj.node = j;
     HTAPEX_ASSIGN_OR_RETURN(bj.build_rows, Run(*j->children[1], total_slots));
     CollectScanRanges(*j->children[1], &bj.build_ranges);
+    if (bj.build_rows.empty()) {
+      spec->joins.push_back(std::move(bj));
+      spec->empty_cut = true;
+      break;
+    }
     if (j->left_key == nullptr || j->right_key == nullptr) {
       bj.cross = true;
     } else {
@@ -69,18 +78,36 @@ Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
                      .first->second;
       }
       bj.build_keys.resize(bj.build_rows.size());
+      if (batch) {
+        bj.flat.Reserve(bj.build_rows.size());
+      } else {
+        bj.table.reserve(bj.build_rows.size());
+      }
       for (size_t i = 0; i < bj.build_rows.size(); ++i) {
         HTAPEX_ASSIGN_OR_RETURN(Value k,
                                 EvalExpr(*j->right_key, bj.build_rows[i]));
         if (k.is_null()) continue;
         bj.build_keys[i] = k;
-        bj.table.emplace(k.Hash(), i);
-        if (bloom != nullptr) bloom->Insert(k.Hash());
+        const uint64_t h = k.Hash();
+        if (batch) {
+          bj.flat.Insert(h, static_cast<uint32_t>(i));
+        } else {
+          bj.table.emplace(h, i);
+        }
+        if (bloom != nullptr) bloom->Insert(h);
       }
     }
     spec->joins.push_back(std::move(bj));
-    spec->nodes.push_back(j);
   }
+  if (spec->empty_cut) {
+    // Stats cover only the top-down prefix of joins whose builds ran.
+    for (const BuiltJoin& bj : spec->joins) spec->nodes.push_back(bj.node);
+    return Status::OK();
+  }
+  std::reverse(spec->joins.begin(), spec->joins.end());  // bottom-up probing
+  spec->nodes.push_back(cur);
+  for (const BuiltJoin& bj : spec->joins) spec->nodes.push_back(bj.node);
+  if (batch) ResolveKeySources(spec);
   // Resolve the scan's sift probes against the filters just built (the
   // producers are spine joins above the scan, so all ids are present now).
   for (const SiftProbe& sp : cur->sift_probes) {
@@ -95,6 +122,44 @@ Status VecExecutor::BuildPipeline(const PlanNode& root, int total_slots,
     spec->sift_ordinals.push_back(sp.key->flat_slot - cur->slot_offset);
   }
   return Status::OK();
+}
+
+void VecExecutor::ResolveKeySources(PipelineSpec* spec) const {
+  for (size_t ji = 0; ji < spec->joins.size(); ++ji) {
+    BuiltJoin& bj = spec->joins[ji];
+    if (bj.cross || bj.node->left_key == nullptr) continue;
+    const Expr& key = *bj.node->left_key;
+    if (key.kind != ExprKind::kColumnRef || key.flat_slot < 0) continue;
+    const int ordinal = key.flat_slot - spec->scan->slot_offset;
+    // A scan-column key must be one the scan actually reads; otherwise the
+    // composite row would hold NULL in that slot (the row executor's
+    // semantics) and the gather would wrongly see stored values.
+    if (ordinal >= 0 && std::find(spec->ordinals.begin(),
+                                  spec->ordinals.end(),
+                                  ordinal) != spec->ordinals.end()) {
+      bj.key_source = KeySource::kScanColumn;
+      bj.key_ordinal = ordinal;
+      continue;
+    }
+    for (size_t e = 0; e < ji && bj.key_src_join < 0; ++e) {
+      for (const auto& [lo, cnt] : spec->joins[e].build_ranges) {
+        if (key.flat_slot < lo || key.flat_slot >= lo + cnt) continue;
+        bj.key_source = KeySource::kBuildColumn;
+        bj.key_src_join = static_cast<int>(e);
+        bj.key_src_slot = key.flat_slot;
+        // Hash each source build row's key value once per pipeline.
+        const Rows& src = spec->joins[e].build_rows;
+        bj.src_hashes.resize(src.size());
+        bj.src_nulls.resize(src.size());
+        for (size_t b = 0; b < src.size(); ++b) {
+          const Value& v = src[b][static_cast<size_t>(key.flat_slot)];
+          bj.src_nulls[b] = v.is_null() ? 1 : 0;
+          bj.src_hashes[b] = v.is_null() ? 0 : v.Hash();
+        }
+        break;
+      }
+    }
+  }
 }
 
 Status VecExecutor::TypedAggMorsel(const PipelineSpec& spec,
@@ -157,6 +222,278 @@ Status VecExecutor::ProcessMorsel(const PipelineSpec& spec,
                                   const Morsel& morsel, int total_slots,
                                   kernels::Arena* arena,
                                   MorselOut* out) const {
+  if (probe_mode_ == VecProbeMode::kBatch) {
+    return ProcessMorselBatch(spec, morsel, total_slots, arena, out);
+  }
+  return ProcessMorselRows(spec, morsel, total_slots, arena, out);
+}
+
+Status VecExecutor::ProcessMorselBatch(const PipelineSpec& spec,
+                                       const Morsel& morsel, int total_slots,
+                                       kernels::Arena* arena,
+                                       MorselOut* out) const {
+  VecBatch batch;
+  batch.table = spec.table;
+  batch.begin = morsel.begin;
+  batch.end = morsel.end;
+  HTAPEX_RETURN_IF_ERROR(ComputeScanSelection(*spec.scan, spec.ordinals,
+                                              total_slots, arena, &batch));
+  // Fused sift: gather each sift key column through the selection vector,
+  // bulk-hash it (kernels::HashI64/F64/Bytes are bit-identical to
+  // Value::Hash), test the Bloom filters, and compact. NULL keys can never
+  // join and are dropped, exactly like RunSiftedScan. Surviving hash
+  // arrays are compacted alongside the selection so the first join can
+  // reuse them instead of rehashing the same column.
+  std::vector<uint64_t*> sift_hashes(spec.scan_sifts.size(), nullptr);
+  if (!spec.scan_sifts.empty() && !batch.sel.empty()) {
+    const size_t n = batch.sel.size();
+    std::vector<uint8_t*> sift_nulls(spec.scan_sifts.size(), nullptr);
+    for (size_t s = 0; s < spec.scan_sifts.size(); ++s) {
+      sift_hashes[s] = arena->AllocU64s(n);
+      sift_nulls[s] = arena->AllocU8(n);
+      GatherKeyHashes(
+          spec.table->columns[static_cast<size_t>(spec.sift_ordinals[s])],
+          batch.begin, batch.sel.data(), n, arena, sift_hashes[s],
+          sift_nulls[s]);
+    }
+    size_t w = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool keep = true;
+      for (size_t s = 0; s < spec.scan_sifts.size(); ++s) {
+        if (sift_nulls[s][i] ||
+            !spec.scan_sifts[s]->MayContain(sift_hashes[s][i])) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      for (size_t s = 0; s < spec.scan_sifts.size(); ++s) {
+        sift_hashes[s][w] = sift_hashes[s][i];
+      }
+      batch.sel[w] = batch.sel[i];
+      ++w;
+    }
+    batch.sel.resize(w);
+  }
+  out->counts[0] = batch.sel.size();
+  if (spec.sink == SinkKind::kTypedAgg) {
+    return TypedAggMorsel(spec, batch, arena, out);
+  }
+
+  // The late-materialized tuple set: per surviving tuple, its scan offset
+  // plus one build-row index per completed join. Composite rows exist only
+  // transiently below (computed keys, residual predicates) until the sink.
+  std::vector<uint32_t> cur_off(batch.sel.begin(), batch.sel.end());
+  std::vector<std::vector<uint32_t>> bidx;
+
+  // Scratch composite row for EvalExpr/PassesPredicates fallbacks. Filled
+  // lazily per tuple; made to equal the row executor's probe row exactly:
+  // scan columns + completed joins' slots, current join's build range
+  // nulled (candidates merge over it per match). Slots outside the
+  // pipeline stay NULL from init, as they would in a materialized row.
+  Row scratch;
+  auto fill_scratch = [&](size_t t, const BuiltJoin& bj) {
+    if (scratch.empty()) {
+      scratch.assign(static_cast<size_t>(total_slots), Value::Null());
+    }
+    for (int c : spec.ordinals) {
+      scratch[static_cast<size_t>(spec.scan->slot_offset + c)] =
+          spec.table->columns[static_cast<size_t>(c)].Get(batch.begin +
+                                                          cur_off[t]);
+    }
+    for (size_t p = 0; p < bidx.size(); ++p) {
+      MergeSlots(spec.joins[p].build_ranges,
+                 spec.joins[p].build_rows[bidx[p][t]], &scratch);
+    }
+    for (const auto& [lo, cnt] : bj.build_ranges) {
+      for (int s = 0; s < cnt; ++s) {
+        scratch[static_cast<size_t>(lo + s)] = Value::Null();
+      }
+    }
+  };
+
+  for (size_t ji = 0; ji < spec.joins.size(); ++ji) {
+    const BuiltJoin& bj = spec.joins[ji];
+    const PlanNode& jn = *bj.node;
+    const size_t nt = cur_off.size();
+    std::vector<uint32_t> next_off;
+    std::vector<std::vector<uint32_t>> next_bidx(bidx.size() + 1);
+    size_t scratch_t = static_cast<size_t>(-1);
+
+    auto emit = [&](size_t t, uint32_t b) {
+      next_off.push_back(cur_off[t]);
+      for (size_t p = 0; p < bidx.size(); ++p) {
+        next_bidx[p].push_back(bidx[p][t]);
+      }
+      next_bidx[bidx.size()].push_back(b);
+    };
+    auto candidate_passes = [&](size_t t, uint32_t b) -> Result<bool> {
+      if (jn.predicates.empty()) return true;
+      if (scratch_t != t) {
+        fill_scratch(t, bj);
+        scratch_t = t;
+      }
+      MergeSlots(bj.build_ranges, bj.build_rows[b], &scratch);
+      return PassesPredicates(jn, scratch);
+    };
+
+    if (bj.cross) {
+      const uint32_t nb = static_cast<uint32_t>(bj.build_rows.size());
+      for (size_t t = 0; t < nt; ++t) {
+        for (uint32_t b = 0; b < nb; ++b) {
+          HTAPEX_ASSIGN_OR_RETURN(bool pass, candidate_passes(t, b));
+          if (pass) emit(t, b);
+        }
+      }
+    } else {
+      // Per-tuple key hashes + null flags, gathered by resolved source.
+      const uint64_t* hashes = nullptr;
+      const uint8_t* nulls = nullptr;  // nullptr: no key is null
+      const ColumnVector* key_col = nullptr;
+      std::vector<Value> computed;
+      switch (bj.key_source) {
+        case KeySource::kScanColumn: {
+          key_col = &spec.table->columns[static_cast<size_t>(bj.key_ordinal)];
+          // The fused sift already hashed (and null-stripped) this column
+          // when it feeds the first join — reuse the compacted array.
+          if (ji == 0) {
+            for (size_t s = 0; s < spec.sift_ordinals.size(); ++s) {
+              if (spec.sift_ordinals[s] == bj.key_ordinal) {
+                hashes = sift_hashes[s];
+                break;
+              }
+            }
+          }
+          if (hashes == nullptr) {
+            uint64_t* h = arena->AllocU64s(nt);
+            uint8_t* nn = arena->AllocU8(nt);
+            GatherKeyHashes(*key_col, batch.begin, cur_off.data(), nt, arena,
+                            h, nn);
+            hashes = h;
+            nulls = nn;
+          }
+          break;
+        }
+        case KeySource::kBuildColumn: {
+          uint64_t* h = arena->AllocU64s(nt);
+          uint8_t* nn = arena->AllocU8(nt);
+          const std::vector<uint32_t>& src =
+              bidx[static_cast<size_t>(bj.key_src_join)];
+          for (size_t t = 0; t < nt; ++t) {
+            h[t] = bj.src_hashes[src[t]];
+            nn[t] = bj.src_nulls[src[t]];
+          }
+          hashes = h;
+          nulls = nn;
+          break;
+        }
+        case KeySource::kComputed: {
+          uint64_t* h = arena->AllocU64s(nt);
+          uint8_t* nn = arena->AllocU8(nt);
+          computed.resize(nt);
+          for (size_t t = 0; t < nt; ++t) {
+            fill_scratch(t, bj);
+            scratch_t = t;
+            HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*jn.left_key, scratch));
+            nn[t] = k.is_null() ? 1 : 0;
+            h[t] = k.is_null() ? 0 : k.Hash();
+            computed[t] = std::move(k);
+          }
+          hashes = h;
+          nulls = nn;
+          break;
+        }
+      }
+      // Key Value for candidate confirmation, fetched only for tuples
+      // whose hash actually hits a chain.
+      auto key_value = [&](size_t t) -> Value {
+        switch (bj.key_source) {
+          case KeySource::kScanColumn:
+            return key_col->Get(batch.begin + cur_off[t]);
+          case KeySource::kBuildColumn: {
+            const size_t sj = static_cast<size_t>(bj.key_src_join);
+            return spec.joins[sj].build_rows[bidx[sj][t]]
+                                            [static_cast<size_t>(
+                                                bj.key_src_slot)];
+          }
+          case KeySource::kComputed:
+            return computed[t];
+        }
+        return Value::Null();
+      };
+      constexpr size_t kPrefetchAhead = 8;
+      for (size_t t = 0; t < nt; ++t) {
+        if (t + kPrefetchAhead < nt &&
+            (nulls == nullptr || !nulls[t + kPrefetchAhead])) {
+          bj.flat.Prefetch(hashes[t + kPrefetchAhead]);
+        }
+        if (nulls != nullptr && nulls[t]) continue;
+        uint32_t b = bj.flat.Probe(hashes[t]);
+        if (b == JoinTable::kNone) continue;
+        const Value pk = key_value(t);
+        for (; b != JoinTable::kNone; b = bj.flat.Next(b)) {
+          if (bj.build_keys[b].Compare(pk) != 0) continue;
+          HTAPEX_ASSIGN_OR_RETURN(bool pass, candidate_passes(t, b));
+          if (pass) emit(t, b);
+        }
+      }
+    }
+    out->counts[1 + ji] = next_off.size();
+    cur_off = std::move(next_off);
+    bidx = std::move(next_bidx);
+  }
+
+  // Single materialization, at the sink. An aggregating sink consumes each
+  // composite row immediately, so it reuses ONE scratch row (every
+  // pipeline-owned slot is overwritten per tuple; slots outside the
+  // pipeline stay NULL) instead of allocating per tuple — the accumulation
+  // itself is AccumulateRows' exact per-row sequence.
+  auto fill_row = [&](size_t t, Row* row) {
+    for (int c : spec.ordinals) {
+      (*row)[static_cast<size_t>(spec.scan->slot_offset + c)] =
+          spec.table->columns[static_cast<size_t>(c)].Get(batch.begin +
+                                                          cur_off[t]);
+    }
+    for (size_t p = 0; p < bidx.size(); ++p) {
+      MergeSlots(spec.joins[p].build_ranges,
+                 spec.joins[p].build_rows[bidx[p][t]], row);
+    }
+  };
+  if (spec.sink == SinkKind::kGroups) {
+    const PlanNode& agg = *spec.agg;
+    Row row(static_cast<size_t>(total_slots), Value::Null());
+    for (size_t t = 0; t < cur_off.size(); ++t) {
+      fill_row(t, &row);
+      Row key;
+      key.reserve(agg.group_keys.size());
+      for (const auto& g : agg.group_keys) {
+        HTAPEX_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] =
+          out->groups.try_emplace(std::move(key), agg.aggregates.size());
+      for (size_t a = 0; a < agg.aggregates.size(); ++a) {
+        HTAPEX_RETURN_IF_ERROR(
+            AccumulateAgg(*agg.aggregates[a], row, &it->second[a]));
+      }
+    }
+    return Status::OK();
+  }
+  Rows rows;
+  rows.reserve(cur_off.size());
+  for (size_t t = 0; t < cur_off.size(); ++t) {
+    Row row(static_cast<size_t>(total_slots), Value::Null());
+    fill_row(t, &row);
+    rows.push_back(std::move(row));
+  }
+  out->rows = std::move(rows);
+  return Status::OK();
+}
+
+Status VecExecutor::ProcessMorselRows(const PipelineSpec& spec,
+                                      const Morsel& morsel, int total_slots,
+                                      kernels::Arena* arena,
+                                      MorselOut* out) const {
   VecBatch batch;
   batch.table = spec.table;
   batch.begin = morsel.begin;
@@ -265,6 +602,10 @@ Result<VecExecutor::Rows> VecExecutor::RunPipeline(const PlanNode& root,
                                                    int total_slots) const {
   PipelineSpec spec;
   HTAPEX_RETURN_IF_ERROR(BuildPipeline(root, total_slots, &spec));
+  if (spec.empty_cut) {
+    RecordPipelineStats(spec, {});
+    return Rows{};
+  }
   MorselDispatcher sizing(spec.table->num_rows, kMorselRows);
   std::vector<MorselOut> outs(sizing.morsel_count());
   RunMorselLoop(spec, total_slots, &outs);
@@ -358,6 +699,13 @@ Result<VecExecutor::Rows> VecExecutor::RunAggregate(const PlanNode& node,
   PipelineSpec spec;
   spec.agg = &node;
   HTAPEX_RETURN_IF_ERROR(BuildPipeline(child, total_slots, &spec));
+  if (spec.empty_cut) {
+    // The join spine is empty; aggregate over zero input rows, exactly
+    // like the row executor aggregating its early-returned empty join.
+    RecordPipelineStats(spec, {});
+    GroupMap empty;
+    return FinalizeGroups(node, empty);
+  }
   spec.sink = TypedAggEligible(node, spec) ? SinkKind::kTypedAgg
                                            : SinkKind::kGroups;
   MorselDispatcher sizing(spec.table->num_rows, kMorselRows);
@@ -428,20 +776,20 @@ Result<VecExecutor::Rows> VecExecutor::RunNestedLoopJoin(
 
 Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
     const PlanNode& node, int total_slots) const {
-  // Mirrors Executor::RunHashJoin, including the build-first ordering for
-  // sift producers (their Bloom filter must exist before the probe side —
-  // and the sifted scan below it — runs).
-  Rows probe, build;
-  if (node.sift_id >= 0) {
-    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
-  } else {
-    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
-    HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
-  }
+  // Mirrors Executor::RunHashJoin exactly: build side first (a sift
+  // producer's Bloom filter must exist before the probe side runs, and an
+  // empty build side short-circuits the probe side entirely — these are
+  // inner joins, so an empty build means an empty join no matter what the
+  // probe side holds).
+  Rows build;
+  HTAPEX_ASSIGN_OR_RETURN(build, Run(*node.children[1], total_slots));
   std::vector<std::pair<int, int>> build_ranges;
   CollectScanRanges(*node.children[1], &build_ranges);
+  if (build.empty()) return Rows{};
 
   if (node.left_key == nullptr || node.right_key == nullptr) {
+    Rows probe;
+    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
     Rows out;
     for (const Row& p : probe) {
       for (const Row& b : build) {
@@ -455,6 +803,7 @@ Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
   }
 
   std::unordered_multimap<uint64_t, size_t> table;
+  table.reserve(build.size());
   std::vector<Value> build_keys(build.size());
   BloomFilter* bloom = nullptr;
   if (node.sift_id >= 0) {
@@ -470,10 +819,10 @@ Result<VecExecutor::Rows> VecExecutor::RunHashJoinSequential(
     table.emplace(k.Hash(), i);
     if (bloom != nullptr) bloom->Insert(k.Hash());
   }
-  if (node.sift_id >= 0) {
-    HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
-  }
+  Rows probe;
+  HTAPEX_ASSIGN_OR_RETURN(probe, Run(*node.children[0], total_slots));
   Rows out;
+  out.reserve(probe.size());
   for (const Row& p : probe) {
     HTAPEX_ASSIGN_OR_RETURN(Value k, EvalExpr(*node.left_key, p));
     if (k.is_null()) continue;

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "engine/agg_state.h"
 #include "engine/executor.h"
+#include "engine/join_table.h"
 #include "engine/morsel.h"
 #include "plan/plan_node.h"
 #include "storage/column_store.h"
@@ -36,6 +37,22 @@ namespace htapex {
 /// count — morsel results merge in morsel index order, group maps are
 /// ordered, and double-SUM reassociation is absorbed by the fingerprint's
 /// %.6g normalization just like the existing TP-vs-AP cross-check.
+/// How the pipeline probes its join build sides. The batch path is the
+/// production default; the row-at-a-time path is the pre-batch
+/// implementation kept verbatim as the A/B baseline bench_vexec's join
+/// speedup gate measures against (and a fallback knob).
+enum class VecProbeMode {
+  /// Flat JoinTable + gathered key columns + late materialization: probe
+  /// keys for a whole morsel are gathered through the selection vector
+  /// into typed spans, bulk-hashed (kernels::HashI64/F64), and probed with
+  /// software prefetch; tuples travel the join spine as (scan offset,
+  /// build indices) and composite rows materialize once, at the sink.
+  kBatch,
+  /// Historical path: materialize composite rows after the scan, then
+  /// per-row EvalExpr + unordered_multimap::equal_range per join.
+  kRowAtATime,
+};
+
 class VecExecutor {
  public:
   /// Morsel granularity: 4 column-store segments, keeping zone-map pruning
@@ -51,6 +68,10 @@ class VecExecutor {
   void set_num_workers(int n) { requested_workers_ = n; }
   int effective_workers() const;
 
+  /// Probe-path A/B knob; both modes satisfy the parity contract.
+  void set_probe_mode(VecProbeMode mode) { probe_mode_ = mode; }
+  VecProbeMode probe_mode() const { return probe_mode_; }
+
   /// Runs an AP plan; `output_names` labels the result columns. When
   /// `stats` is provided, per-node actual cardinalities are recorded.
   /// TP-only operators (row scans, index probes) are rejected.
@@ -62,15 +83,34 @@ class VecExecutor {
   using Rows = std::vector<Row>;
   using GroupMap = std::map<Row, std::vector<AggState>, RowLess>;
 
+  /// Where a join's probe key comes from, resolved once per pipeline so
+  /// the batch probe can gather/hash whole morsels without EvalExpr.
+  enum class KeySource {
+    kScanColumn,   // plain ref to a scan column the pipeline reads
+    kBuildColumn,  // ref into an earlier (lower) join's build rows
+    kComputed,     // anything else: per-tuple EvalExpr fallback
+  };
+
   /// One hash-join build side, constructed before the parallel region and
-  /// probed read-only by all workers.
+  /// probed read-only by all workers. Exactly one of `table` (row-at-a-time
+  /// mode) / `flat` (batch mode) is populated.
   struct BuiltJoin {
     const PlanNode* node = nullptr;
     Rows build_rows;
     std::vector<Value> build_keys;
     std::unordered_multimap<uint64_t, size_t> table;
+    JoinTable flat;
     std::vector<std::pair<int, int>> build_ranges;
     bool cross = false;  // no equi-keys: degenerate cross join
+    // Batch-mode probe-key resolution (ResolveKeySources).
+    KeySource key_source = KeySource::kComputed;
+    int key_ordinal = -1;   // kScanColumn: schema ordinal in spec.table
+    int key_src_join = -1;  // kBuildColumn: earlier join index (bottom-up)
+    int key_src_slot = -1;  // kBuildColumn: flat slot in that build row
+    /// kBuildColumn: per-source-build-row key hash / null flag, computed
+    /// once per pipeline so probing is a pair of array loads per tuple.
+    std::vector<uint64_t> src_hashes;
+    std::vector<uint8_t> src_nulls;
   };
 
   /// What each morsel feeds at the pipeline breaker.
@@ -95,6 +135,14 @@ class VecExecutor {
     /// region, and probed read-only by the morsel workers.
     std::vector<const BloomFilter*> scan_sifts;
     std::vector<int> sift_ordinals;
+    /// True when a spine join's build side came back empty: the inner join
+    /// above it is empty no matter what the probe side holds, so the
+    /// pipeline stops building there and never runs the scan or the morsel
+    /// loop. `joins` then holds only the top-down prefix that was built
+    /// (the cut join last) and `nodes` mirrors it — exactly the node set
+    /// the row executor touches when its build-first RunHashJoin returns
+    /// early.
+    bool empty_cut = false;
   };
 
   /// Per-morsel output slot, merged in morsel index order.
@@ -115,9 +163,21 @@ class VecExecutor {
 
   Status BuildPipeline(const PlanNode& root, int total_slots,
                        PipelineSpec* spec) const;
+  /// Resolves each equi-join's probe-key source for the batch probe.
+  void ResolveKeySources(PipelineSpec* spec) const;
   Status ProcessMorsel(const PipelineSpec& spec, const Morsel& morsel,
                        int total_slots, kernels::Arena* arena,
                        MorselOut* out) const;
+  /// Batch probe: fused typed sift, gathered key hashing, flat-table
+  /// probing with prefetch, late materialization at the sink.
+  Status ProcessMorselBatch(const PipelineSpec& spec, const Morsel& morsel,
+                            int total_slots, kernels::Arena* arena,
+                            MorselOut* out) const;
+  /// Pre-batch probe (VecProbeMode::kRowAtATime), kept as the honest A/B
+  /// baseline: composite rows from the scan on, multimap equal_range.
+  Status ProcessMorselRows(const PipelineSpec& spec, const Morsel& morsel,
+                           int total_slots, kernels::Arena* arena,
+                           MorselOut* out) const;
   Status TypedAggMorsel(const PipelineSpec& spec, const struct VecBatch& batch,
                         kernels::Arena* arena, MorselOut* out) const;
   /// Runs the morsel loop over `spec` (inline or on the worker pool),
@@ -150,6 +210,7 @@ class VecExecutor {
   const Catalog& catalog_;
   const ColumnStore& column_store_;
   int requested_workers_ = 0;
+  VecProbeMode probe_mode_ = VecProbeMode::kBatch;
   /// Lazily built, persists across Execute calls; rebuilt on size change.
   mutable std::unique_ptr<WorkerPool> pool_;
   /// Set only for the duration of an instrumented Execute call.

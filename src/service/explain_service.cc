@@ -626,6 +626,12 @@ std::string ExplainService::ExpositionText() const {
             {{"kernel", "sum_f64"}});
   b.Counter("htapex_kernel_ops_total", kKernelHelp, k.sum_i64,
             {{"kernel", "sum_i64"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.hash_i64,
+            {{"kernel", "hash_i64"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.hash_f64,
+            {{"kernel", "hash_f64"}});
+  b.Counter("htapex_kernel_ops_total", kKernelHelp, k.hash_bytes,
+            {{"kernel", "hash_bytes"}});
 
   const char* kStageHelp = "Service stage latency summaries";
   b.Summary("htapex_stage_latency_ms", kStageHelp, s.encode,

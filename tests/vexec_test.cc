@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/kernels.h"
 #include "engine/htap_system.h"
 #include "engine/morsel.h"
 
@@ -220,6 +221,55 @@ TEST_F(VecExecutorTest, SingleWorkerMatchesMultiWorker) {
     ASSERT_TRUE(multi_res.ok()) << sql;
     EXPECT_EQ(multi_res->Fingerprint(), vec_res->Fingerprint()) << sql;
   }
+}
+
+TEST_F(VecExecutorTest, ProbeModesAgreeAcrossWorkersAndBackends) {
+  // The batch probe (flat JoinTable, gathered keys, late materialization)
+  // and the row-at-a-time baseline must both hold the row-oracle parity
+  // contract — at 1 and 3 workers and with SIMD kernels forced off (the
+  // scalar backend hashes through a different code path that must still be
+  // bit-identical to Value::Hash).
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey "
+      "AND o_totalprice > 100000",
+      "SELECT n_name, COUNT(*), SUM(o_totalprice) FROM nation, customer, "
+      "orders WHERE o_custkey = c_custkey AND n_nationkey = c_nationkey "
+      "GROUP BY n_name ORDER BY n_name",
+      // String equi-key: HashBytes path through the gathered probe.
+      "SELECT COUNT(*) FROM nation, customer "
+      "WHERE n_name = c_mktsegment",
+      // Empty build side: the probe spine must cut without running the
+      // scan, with identical ExecStats node sets on both executors.
+      "SELECT COUNT(*) FROM nation, customer "
+      "WHERE n_nationkey = c_nationkey AND n_name = 'nosuchnation'",
+  };
+  HtapSystem single;
+  HtapConfig config;
+  config.stats_scale_factor = 0.02;
+  config.data_scale_factor = 0.02;
+  config.vec_workers = 1;
+  ASSERT_TRUE(single.Init(config).ok());
+  const kernels::Backend native = kernels::ActiveBackend();
+  for (VecProbeMode mode : {VecProbeMode::kBatch, VecProbeMode::kRowAtATime}) {
+    system_->vec_executor()->set_probe_mode(mode);
+    single.vec_executor()->set_probe_mode(mode);
+    for (const char* sql : queries) {
+      ExpectParity(sql);  // 3 workers
+      auto query = single.Bind(sql);
+      ASSERT_TRUE(query.ok()) << sql;
+      auto plans = single.PlanBoth(*query);
+      ASSERT_TRUE(plans.ok()) << sql;
+      auto row_res = single.ExecuteWithMode(ExecMode::kRow, plans->ap, *query);
+      auto vec_res =
+          single.ExecuteWithMode(ExecMode::kVectorized, plans->ap, *query);
+      ASSERT_TRUE(row_res.ok() && vec_res.ok()) << sql;
+      EXPECT_EQ(row_res->Fingerprint(), vec_res->Fingerprint()) << sql;
+    }
+    ASSERT_TRUE(kernels::ForceBackendForTest(kernels::Backend::kScalar));
+    for (const char* sql : queries) ExpectParity(sql);
+    ASSERT_TRUE(kernels::ForceBackendForTest(native));
+  }
+  system_->vec_executor()->set_probe_mode(VecProbeMode::kBatch);
 }
 
 TEST_F(VecExecutorTest, VectorizedRejectsTpPlans) {
